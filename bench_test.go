@@ -1,0 +1,159 @@
+package oraclesize
+
+// One benchmark per experiment in DESIGN.md's per-experiment index. Each
+// bench regenerates the corresponding table (in Quick mode so -bench runs
+// stay tractable); `go run ./cmd/benchtables` prints the full-size tables
+// recorded in EXPERIMENTS.md.
+
+import (
+	"testing"
+
+	"oraclesize/internal/experiments"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	runner, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := experiments.Config{Seed: 1, Quick: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		table, err := runner.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(table.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkE1WakeupUpper regenerates E1 (Thm 2.1): wakeup oracle size and
+// exact n-1 message count across families.
+func BenchmarkE1WakeupUpper(b *testing.B) { benchExperiment(b, "E1") }
+
+// BenchmarkE2aAdversaryGame regenerates E2a (Lemma 2.1): explicit adversary
+// games on enumerated instance families.
+func BenchmarkE2aAdversaryGame(b *testing.B) { benchExperiment(b, "E2a") }
+
+// BenchmarkE2bWakeupLowerBound regenerates E2b (Thm 2.2): exact and
+// analytic forced-message bounds for wakeup.
+func BenchmarkE2bWakeupLowerBound(b *testing.B) { benchExperiment(b, "E2b") }
+
+// BenchmarkE2cWakeupReduction regenerates E2c (Thm 2.2's reduction): the
+// worst-case wakeup message count over enumerated G_{n,S} families.
+func BenchmarkE2cWakeupReduction(b *testing.B) { benchExperiment(b, "E2c") }
+
+// BenchmarkE3BroadcastUpper regenerates E3 (Thm 3.1, Claims 3.1/3.2): light
+// tree contribution, O(n) oracle, Scheme B message bounds.
+func BenchmarkE3BroadcastUpper(b *testing.B) { benchExperiment(b, "E3") }
+
+// BenchmarkE4aBudgetedBroadcast regenerates E4a (Thm 3.2, empirical):
+// message blow-up under restricted advice budgets on G_{n,S,C}.
+func BenchmarkE4aBudgetedBroadcast(b *testing.B) { benchExperiment(b, "E4a") }
+
+// BenchmarkE4bBroadcastLowerBound regenerates E4b (Thm 3.2/Claim 3.3):
+// forced messages vs the n(k-1)/8 threshold.
+func BenchmarkE4bBroadcastLowerBound(b *testing.B) { benchExperiment(b, "E4b") }
+
+// BenchmarkE5Separation regenerates E5 (headline): wakeup vs broadcast
+// oracle bits as n grows.
+func BenchmarkE5Separation(b *testing.B) { benchExperiment(b, "E5") }
+
+// BenchmarkE6Subdivision regenerates E6 (remark after Thm 2.2): c-fold
+// subdivision families.
+func BenchmarkE6Subdivision(b *testing.B) { benchExperiment(b, "E6") }
+
+// BenchmarkE7Asynchrony regenerates E7: schedulers × engines stress of both
+// constructions.
+func BenchmarkE7Asynchrony(b *testing.B) { benchExperiment(b, "E7") }
+
+// BenchmarkE8Baselines regenerates E8: the knowledge/communication
+// trade-off curve.
+func BenchmarkE8Baselines(b *testing.B) { benchExperiment(b, "E8") }
+
+// BenchmarkE9Gossip regenerates E9 (extension): gossip with a tree oracle
+// and exactly 2(n-1) messages.
+func BenchmarkE9Gossip(b *testing.B) { benchExperiment(b, "E9") }
+
+// BenchmarkE10TreeAblation regenerates E10: spanning-tree choice in the
+// wakeup oracle (bits vs completion time).
+func BenchmarkE10TreeAblation(b *testing.B) { benchExperiment(b, "E10") }
+
+// BenchmarkE11CodecAblation regenerates E11: weight codecs in the
+// broadcast oracle.
+func BenchmarkE11CodecAblation(b *testing.B) { benchExperiment(b, "E11") }
+
+// BenchmarkE12Exploration regenerates E12 (extension): mobile-agent
+// exploration with and without tree advice.
+func BenchmarkE12Exploration(b *testing.B) { benchExperiment(b, "E12") }
+
+// BenchmarkE13Election regenerates E13 (extension): the leader-election
+// knowledge ladder.
+func BenchmarkE13Election(b *testing.B) { benchExperiment(b, "E13") }
+
+// BenchmarkE14Spanner regenerates E14 (extension): zero-communication
+// spanner selection from O(n) advice bits.
+func BenchmarkE14Spanner(b *testing.B) { benchExperiment(b, "E14") }
+
+// BenchmarkE15Bandwidth regenerates E15: the bounded-message verification
+// (bits per message, per-node load).
+func BenchmarkE15Bandwidth(b *testing.B) { benchExperiment(b, "E15") }
+
+// BenchmarkE16BFSTree regenerates E16 (§1.2): BFS-tree construction and
+// the price of asynchrony.
+func BenchmarkE16BFSTree(b *testing.B) { benchExperiment(b, "E16") }
+
+// BenchmarkE17MST regenerates E17 (§1.2): distributed Borůvka MST vs the
+// silent oracle.
+func BenchmarkE17MST(b *testing.B) { benchExperiment(b, "E17") }
+
+// BenchmarkE18Radio regenerates E18 (§1.1 context): radio broadcast time
+// vs advice.
+func BenchmarkE18Radio(b *testing.B) { benchExperiment(b, "E18") }
+
+// BenchmarkE19BroadcastTreeTradeoff regenerates E19: the broadcast tree
+// knowledge/time trade-off.
+func BenchmarkE19BroadcastTreeTradeoff(b *testing.B) { benchExperiment(b, "E19") }
+
+// BenchmarkE20Neighborhood regenerates E20: the traditional radius-1-ball
+// knowledge on the oracle-size scale.
+func BenchmarkE20Neighborhood(b *testing.B) { benchExperiment(b, "E20") }
+
+// Micro-benchmarks of the public API on a mid-size network.
+
+func BenchmarkPublicWakeup(b *testing.B) {
+	g, err := RandomNetwork(1024, 4096, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := Wakeup(g, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Complete {
+			b.Fatal("incomplete")
+		}
+	}
+}
+
+func BenchmarkPublicBroadcast(b *testing.B) {
+	g, err := RandomNetwork(1024, 4096, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := Broadcast(g, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Complete {
+			b.Fatal("incomplete")
+		}
+	}
+}

@@ -1,0 +1,93 @@
+// Command benchtables regenerates every experiment table from DESIGN.md's
+// per-experiment index (E1–E19) and prints them; EXPERIMENTS.md records its
+// output and docs/all-tables.txt archives a full run. Use -only to run a
+// single experiment, -quick for the reduced sweeps used by the test suite,
+// and -format markdown for GitHub-ready tables.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"oraclesize/internal/experiments"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("benchtables", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	var (
+		only     = fs.String("only", "", "run a single experiment by ID (e.g. E3)")
+		quick    = fs.Bool("quick", false, "reduced sweeps")
+		seed     = fs.Int64("seed", 1, "random seed")
+		format   = fs.String("format", "text", "output format: text | markdown")
+		parallel = fs.Bool("parallel", false, "run experiments concurrently (same output order)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *format != "text" && *format != "markdown" {
+		fmt.Fprintf(errOut, "unknown format %q\n", *format)
+		return 1
+	}
+
+	cfg := experiments.Config{Seed: *seed, Quick: *quick}
+	runners := experiments.All()
+	if *only != "" {
+		r, err := experiments.ByID(*only)
+		if err != nil {
+			fmt.Fprintln(errOut, err)
+			return 1
+		}
+		runners = []experiments.Runner{r}
+	}
+
+	type outcome struct {
+		table   *experiments.Table
+		err     error
+		elapsed time.Duration
+	}
+	results := make([]outcome, len(runners))
+	runOne := func(i int) {
+		start := time.Now()
+		table, err := runners[i].Run(cfg)
+		results[i] = outcome{table: table, err: err, elapsed: time.Since(start)}
+	}
+	if *parallel {
+		var wg sync.WaitGroup
+		for i := range runners {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				runOne(i)
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		for i := range runners {
+			runOne(i)
+		}
+	}
+
+	for i, r := range runners {
+		res := results[i]
+		if res.err != nil {
+			fmt.Fprintf(errOut, "%s failed: %v\n", r.ID, res.err)
+			return 1
+		}
+		if *format == "markdown" {
+			fmt.Fprintln(out, res.table.RenderMarkdown())
+		} else {
+			fmt.Fprintln(out, res.table.Render())
+		}
+		fmt.Fprintf(out, "(%s completed in %v)\n\n", r.ID, res.elapsed.Round(time.Millisecond))
+	}
+	return 0
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperimentText(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-only", "E5", "-quick"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "E5 — Separation") {
+		t.Errorf("missing table header:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "completed in") {
+		t.Error("missing timing line")
+	}
+}
+
+func TestRunMarkdownFormat(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-only", "E2a", "-quick", "-format", "markdown"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "| n | |X| |") && !strings.Contains(out.String(), "| --- |") {
+		t.Errorf("not markdown:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsUnknownExperiment(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-only", "E99"}, &out, &errOut); code != 1 {
+		t.Errorf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown experiment") {
+		t.Errorf("stderr: %s", errOut.String())
+	}
+}
+
+func TestRunRejectsUnknownFormat(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-only", "E2a", "-quick", "-format", "pdf"}, &out, &errOut); code != 1 {
+		t.Errorf("exit %d, want 1", code)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-nonsense"}, &out, &errOut); code != 2 {
+		t.Errorf("exit %d, want 2", code)
+	}
+}
+
+func TestRunParallelMatchesSequential(t *testing.T) {
+	var seq, par bytes.Buffer
+	var errOut bytes.Buffer
+	if code := run([]string{"-quick", "-only", "E3"}, &seq, &errOut); code != 0 {
+		t.Fatalf("sequential: exit %d: %s", code, errOut.String())
+	}
+	if code := run([]string{"-quick", "-only", "E3", "-parallel"}, &par, &errOut); code != 0 {
+		t.Fatalf("parallel: exit %d: %s", code, errOut.String())
+	}
+	// Tables are deterministic; only timing lines differ.
+	strip := func(s string) string {
+		var keep []string
+		for _, line := range strings.Split(s, "\n") {
+			if !strings.Contains(line, "completed in") {
+				keep = append(keep, line)
+			}
+		}
+		return strings.Join(keep, "\n")
+	}
+	if strip(seq.String()) != strip(par.String()) {
+		t.Error("parallel output differs from sequential")
+	}
+}

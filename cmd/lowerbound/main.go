@@ -1,0 +1,73 @@
+// Command lowerbound evaluates the paper's lower-bound machinery:
+//
+//   - mode "game" plays the Lemma 2.1 adversary against discovery schemes
+//     on fully enumerated instance families (E2a);
+//   - mode "wakeup" prints the Theorem 2.2 forced-message bounds (E2b);
+//   - mode "broadcast" prints the Theorem 3.2 / Claim 3.3 bounds (E4b);
+//   - mode "point" evaluates one (n, alpha) and one (n, k) pair directly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"oraclesize/internal/counting"
+	"oraclesize/internal/experiments"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("lowerbound", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	var (
+		mode  = fs.String("mode", "wakeup", "game | wakeup | broadcast | point")
+		quick = fs.Bool("quick", false, "reduced sweeps")
+		seed  = fs.Int64("seed", 1, "random seed")
+		n     = fs.Int64("n", 1<<16, "network half-size for -mode point")
+		alpha = fs.Float64("alpha", 0.25, "oracle budget coefficient for wakeup point")
+		k     = fs.Int64("k", 4, "clique size for broadcast point")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	cfg := experiments.Config{Seed: *seed, Quick: *quick}
+	switch *mode {
+	case "game":
+		return printTable(experiments.E2aAdversaryGame, cfg, out, errOut)
+	case "wakeup":
+		return printTable(experiments.E2bWakeupLower, cfg, out, errOut)
+	case "broadcast":
+		return printTable(experiments.E4bBroadcastLower, cfg, out, errOut)
+	case "point":
+		w := counting.WakeupForcedAnalytic(*n, *alpha)
+		fmt.Fprintf(out, "wakeup    n=%d alpha=%.3f q=%d bits  log2P=%.1f log2Q=%.1f  forced=%.1f msgs (closed form %.1f)\n",
+			w.N, w.Alpha, w.QBits, w.Log2P, w.Log2Q, w.ForcedMsgs, w.ClosedForm)
+		b, err := counting.BroadcastForcedAnalytic(*n, *k)
+		if err != nil {
+			fmt.Fprintln(errOut, "lowerbound:", err)
+			return 1
+		}
+		fmt.Fprintf(out, "broadcast n=%d k=%d q=%d bits  log2P'=%.1f log2Q=%.1f  forced=%.1f msgs (threshold %.1f)\n",
+			b.N, b.K, b.QBits, b.Log2PPrime, b.Log2Q, b.ForcedMsgs, b.Threshold)
+		return 0
+	default:
+		fmt.Fprintf(errOut, "lowerbound: unknown mode %q\n", *mode)
+		return 1
+	}
+}
+
+func printTable(runner func(experiments.Config) (*experiments.Table, error), cfg experiments.Config, out, errOut io.Writer) int {
+	table, err := runner(cfg)
+	if err != nil {
+		fmt.Fprintln(errOut, "lowerbound:", err)
+		return 1
+	}
+	fmt.Fprintln(out, table.Render())
+	return 0
+}

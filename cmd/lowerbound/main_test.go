@@ -1,0 +1,47 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestModes(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"game", []string{"-mode", "game", "-quick"}, "Lemma 2.1"},
+		{"wakeup", []string{"-mode", "wakeup", "-quick"}, "forced-msgs"},
+		{"broadcast", []string{"-mode", "broadcast", "-quick"}, "threshold"},
+		{"point", []string{"-mode", "point", "-n", "65536"}, "forced="},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errOut bytes.Buffer
+			if code := run(tc.args, &out, &errOut); code != 0 {
+				t.Fatalf("exit %d: %s", code, errOut.String())
+			}
+			if !strings.Contains(out.String(), tc.want) {
+				t.Errorf("output missing %q:\n%s", tc.want, out.String())
+			}
+		})
+	}
+}
+
+func TestPointRejectsBadParams(t *testing.T) {
+	var out, errOut bytes.Buffer
+	// 4k does not divide n.
+	if code := run([]string{"-mode", "point", "-n", "65537", "-k", "4"}, &out, &errOut); code != 1 {
+		t.Errorf("exit %d, want 1", code)
+	}
+}
+
+func TestUnknownMode(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-mode", "divination"}, &out, &errOut); code != 1 {
+		t.Errorf("exit %d, want 1", code)
+	}
+}

@@ -1,0 +1,187 @@
+// Command oraclesim runs one distributed task on one network under one
+// oracle and prints the oracle size, message count, and verdicts — a
+// command-line microscope for the paper's constructions and this
+// repository's extensions.
+//
+// Examples:
+//
+//	oraclesim -family random-sparse -n 256 -task wakeup
+//	oraclesim -family complete -n 64 -task broadcast -scheduler lifo
+//	oraclesim -family hypercube -n 128 -task broadcast -oracle none
+//	oraclesim -family grid -n 100 -task wakeup -oracle full-map -engine goroutines
+//	oraclesim -family torus -n 144 -task gossip
+//	oraclesim -family cycle -n 64 -task election -oracle none
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strings"
+
+	"oraclesize/internal/broadcast"
+	"oraclesize/internal/election"
+	"oraclesize/internal/gossip"
+	"oraclesize/internal/graph"
+	"oraclesize/internal/graphgen"
+	"oraclesize/internal/oracle"
+	"oraclesize/internal/scheme"
+	"oraclesize/internal/sim"
+	"oraclesize/internal/wakeup"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("oraclesim", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	var (
+		familyName = fs.String("family", "random-sparse", "graph family: "+familyNames())
+		n          = fs.Int("n", 256, "requested network size")
+		task       = fs.String("task", "broadcast", "task: wakeup | broadcast | gossip | election")
+		oracleName = fs.String("oracle", "paper", "oracle: paper | none | full-map | mark (election)")
+		schedName  = fs.String("scheduler", "fifo", "scheduler: fifo | lifo | random | delay")
+		engine     = fs.String("engine", "queue", "engine: queue | goroutines")
+		seed       = fs.Int64("seed", 1, "random seed")
+		source     = fs.Int("source", 0, "source node index")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	fam, err := graphgen.FamilyByName(*familyName)
+	if err != nil {
+		return fail(errOut, err)
+	}
+	g, err := fam.Generate(*n, rand.New(rand.NewSource(*seed)))
+	if err != nil {
+		return fail(errOut, err)
+	}
+	if *source < 0 || *source >= g.N() {
+		return fail(errOut, fmt.Errorf("source %d out of range [0,%d)", *source, g.N()))
+	}
+	src := graph.NodeID(*source)
+
+	advice, algo, enforce, err := selectAlgo(*task, *oracleName, g, src)
+	if err != nil {
+		return fail(errOut, err)
+	}
+
+	var res *sim.Result
+	switch *engine {
+	case "queue":
+		factory, ok := sim.Schedulers(*seed)[*schedName]
+		if !ok {
+			return fail(errOut, fmt.Errorf("unknown scheduler %q", *schedName))
+		}
+		opts := sim.Options{
+			Scheduler:     factory(),
+			EnforceWakeup: enforce,
+			RetainNodes:   true,
+			// Election by max-label flooding legitimately costs O(n·m).
+			MaxMessages: 4*g.N()*g.M() + 1024,
+		}
+		res, err = sim.Run(g, src, algo, advice, opts)
+	case "goroutines":
+		res, err = sim.RunConcurrent(g, src, algo, advice, 4*g.N()*g.M()+1024)
+	default:
+		return fail(errOut, fmt.Errorf("unknown engine %q", *engine))
+	}
+	if err != nil {
+		return fail(errOut, err)
+	}
+
+	// Completion criterion is task-specific: dissemination tasks require
+	// every node informed; election requires a valid unanimous decision.
+	complete := res.AllInformed
+	if *task == "election" {
+		if *engine == "goroutines" {
+			return fail(errOut, fmt.Errorf("election verification needs -engine queue"))
+		}
+		complete = election.Verify(res.Nodes) == nil
+	}
+
+	stats := oracle.Stats(advice)
+	fmt.Fprintf(out, "network      %s  n=%d m=%d maxdeg=%d\n", *familyName, g.N(), g.M(), g.MaxDegree())
+	fmt.Fprintf(out, "task         %s  (algorithm %s)\n", *task, algo.Name())
+	fmt.Fprintf(out, "oracle       %s  size=%d bits  max-node=%d bits  nonempty-nodes=%d\n",
+		*oracleName, stats.TotalBits, stats.MaxNodeBits, stats.NonEmptyNodes)
+	fmt.Fprintf(out, "engine       %s/%s\n", *engine, *schedName)
+	fmt.Fprintf(out, "messages     %d total", res.Messages)
+	for _, k := range []scheme.Kind{scheme.KindM, scheme.KindHello, scheme.KindProbe, scheme.KindUp, scheme.KindDown} {
+		if c := res.ByKind[k]; c > 0 {
+			fmt.Fprintf(out, "  %s=%d", k, c)
+		}
+	}
+	fmt.Fprintln(out)
+	fmt.Fprintf(out, "bandwidth    %d bits total  max-node-sends=%d\n", res.MessageBits, res.MaxNodeSends)
+	fmt.Fprintf(out, "reference    n-1=%d  2m=%d  3(n-1)=%d\n", g.N()-1, 2*g.M(), 3*(g.N()-1))
+	fmt.Fprintf(out, "complete     %v  (rounds=%d)\n", complete, res.Rounds)
+	if !complete {
+		return 1
+	}
+	return 0
+}
+
+func selectAlgo(task, oracleName string, g *graph.Graph, src graph.NodeID) (sim.Advice, scheme.Algorithm, bool, error) {
+	switch task {
+	case "wakeup":
+		switch oracleName {
+		case "paper":
+			advice, err := wakeup.Oracle{}.Advise(g, src)
+			return advice, wakeup.Algorithm{}, true, err
+		case "none":
+			return nil, wakeup.Flooding{}, true, nil
+		case "full-map":
+			advice, err := oracle.FullMap{}.Advise(g, src)
+			return advice, wakeup.FullMapAlgorithm{}, true, err
+		}
+	case "broadcast":
+		switch oracleName {
+		case "paper":
+			advice, err := broadcast.Oracle{}.Advise(g, src)
+			return advice, broadcast.Algorithm{}, false, err
+		case "none":
+			return nil, broadcast.Flooding{}, false, nil
+		case "full-map":
+			advice, err := oracle.FullMap{}.Advise(g, src)
+			return advice, wakeup.FullMapAlgorithm{}, false, err
+		}
+	case "gossip":
+		if oracleName == "paper" {
+			advice, err := gossip.Oracle{Root: src}.Advise(g, src)
+			return advice, gossip.Algorithm{}, false, err
+		}
+	case "election":
+		switch oracleName {
+		case "paper":
+			advice, err := election.TreeOracle{}.Advise(g, src)
+			return advice, election.MarkedTree{}, false, err
+		case "none":
+			return nil, election.MaxLabelFlood{}, false, nil
+		case "mark":
+			advice, err := election.MarkOracle{}.Advise(g, src)
+			return advice, election.MarkedFlood{}, false, err
+		}
+	default:
+		return nil, nil, false, fmt.Errorf("unknown task %q", task)
+	}
+	return nil, nil, false, fmt.Errorf("unknown oracle %q for task %q", oracleName, task)
+}
+
+func familyNames() string {
+	var names []string
+	for _, f := range graphgen.Families() {
+		names = append(names, f.Name)
+	}
+	return strings.Join(names, " | ")
+}
+
+func fail(errOut io.Writer, err error) int {
+	fmt.Fprintln(errOut, "oraclesim:", err)
+	return 1
+}

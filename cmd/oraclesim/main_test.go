@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTaskMatrix(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"wakeup-paper", []string{"-family", "grid", "-n", "36", "-task", "wakeup"}},
+		{"wakeup-none", []string{"-family", "grid", "-n", "36", "-task", "wakeup", "-oracle", "none"}},
+		{"wakeup-fullmap", []string{"-family", "cycle", "-n", "24", "-task", "wakeup", "-oracle", "full-map"}},
+		{"broadcast-paper", []string{"-family", "hypercube", "-n", "32", "-task", "broadcast"}},
+		{"broadcast-none", []string{"-family", "complete", "-n", "16", "-task", "broadcast", "-oracle", "none"}},
+		{"broadcast-lifo", []string{"-family", "complete", "-n", "16", "-task", "broadcast", "-scheduler", "lifo"}},
+		{"broadcast-delay", []string{"-family", "grid", "-n", "25", "-task", "broadcast", "-scheduler", "delay"}},
+		{"gossip", []string{"-family", "torus", "-n", "36", "-task", "gossip"}},
+		{"election-tree", []string{"-family", "cycle", "-n", "24", "-task", "election"}},
+		{"election-none", []string{"-family", "cycle", "-n", "24", "-task", "election", "-oracle", "none"}},
+		{"election-mark", []string{"-family", "cycle", "-n", "24", "-task", "election", "-oracle", "mark"}},
+		{"goroutines", []string{"-family", "grid", "-n", "25", "-task", "broadcast", "-engine", "goroutines"}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errOut bytes.Buffer
+			if code := run(tc.args, &out, &errOut); code != 0 {
+				t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+			}
+			if !strings.Contains(out.String(), "complete     true") {
+				t.Errorf("run did not complete:\n%s", out.String())
+			}
+		})
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	cases := [][]string{
+		{"-family", "nope"},
+		{"-task", "teleport"},
+		{"-task", "wakeup", "-oracle", "psychic"},
+		{"-scheduler", "chaos"},
+		{"-engine", "quantum"},
+		{"-family", "grid", "-n", "25", "-source", "99"},
+	}
+	for _, args := range cases {
+		var out, errOut bytes.Buffer
+		if code := run(args, &out, &errOut); code == 0 {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestExactWakeupCount(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-family", "path", "-n", "20", "-task", "wakeup"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "messages     19 total") {
+		t.Errorf("wakeup on P20 should use exactly 19 messages:\n%s", out.String())
+	}
+}

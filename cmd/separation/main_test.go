@@ -1,0 +1,27 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSeparationQuick(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-quick"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	text := out.String()
+	for _, want := range []string{"wakeup-bits", "bcast-bits", "ratio", "Θ(n log n)"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestSeparationBadFlag(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-bogus"}, &out, &errOut); code != 2 {
+		t.Errorf("exit %d, want 2", code)
+	}
+}

@@ -1,0 +1,48 @@
+// Adversary: a live demonstration of Lemma 2.1, the engine of both lower
+// bounds. An adversary hides a tuple X of labeled special edges inside the
+// complete graph K*_n and answers each probe so as to keep as many
+// candidate instances alive as possible. Information theory says any
+// scheme needs at least log2(|I|/|X|!) probes; the demo plays three
+// strategies — a blind sweep, a random order, and an informed greedy
+// splitter — and prints how each fares against the bound.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"oraclesize/internal/edgediscovery"
+)
+
+func main() {
+	fmt.Println("edge discovery vs the Lemma 2.1 adversary")
+	fmt.Println()
+	fmt.Printf("%3s %4s %8s %8s  %-13s %7s %s\n", "n", "|X|", "|I|", "bound", "scheme", "probes", "meets bound")
+	for _, tc := range []struct{ n, k int }{
+		{4, 1}, {4, 2}, {5, 1}, {5, 2}, {5, 3}, {6, 1}, {6, 2}, {7, 1},
+	} {
+		family, err := edgediscovery.Family(tc.n, tc.k, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bound := edgediscovery.LowerBound(len(family), tc.k)
+		for _, s := range []edgediscovery.Scheme{
+			edgediscovery.SweepScheme{},
+			&edgediscovery.RandomScheme{Seed: 99},
+			&edgediscovery.GreedySplitScheme{Family: family},
+		} {
+			probes, err := edgediscovery.PlayAdversary(family, s, 1<<20)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%3d %4d %8d %8.2f  %-13s %7d %v\n",
+				tc.n, tc.k, len(family), bound, s.Name(), probes, float64(probes) >= bound)
+		}
+	}
+	fmt.Println()
+	fmt.Println("No strategy beats log2(|I|/|X|!): each probe halves the candidate")
+	fmt.Println("set at best, and revealed labels only buy back a |X|! factor. The")
+	fmt.Println("paper plugs wakeup (Thm 2.2) and broadcast (Thm 3.2) instance")
+	fmt.Println("families into exactly this game to force Ω(n log n) and super-")
+	fmt.Println("linear message counts when the oracle is too small.")
+}

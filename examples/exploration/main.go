@@ -1,0 +1,64 @@
+// Exploration: the paper's conclusion names graph exploration by mobile
+// agents as another task whose difficulty oracles could measure. This
+// example walks an agent over several topologies twice: once with zero
+// advice (depth-first search over every edge, Θ(m) moves) and once with a
+// Θ(n log n)-bit tree oracle (an Euler tour, exactly 2(n-1) moves).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"oraclesize/internal/explore"
+	"oraclesize/internal/graph"
+	"oraclesize/internal/graphgen"
+	"oraclesize/internal/sim"
+)
+
+func main() {
+	fmt.Println("mobile-agent exploration: advice bits vs moves")
+	fmt.Println()
+	fmt.Printf("%-10s %6s %8s   %-14s %12s %8s %9s %6s\n",
+		"family", "n", "m", "strategy", "advice-bits", "moves", "complete", "home")
+
+	builders := []struct {
+		name  string
+		build func() (*graph.Graph, error)
+	}{
+		{"grid", func() (*graph.Graph, error) { return graphgen.Grid(10, 10) }},
+		{"hypercube", func() (*graph.Graph, error) { return graphgen.Hypercube(7) }},
+		{"complete", func() (*graph.Graph, error) { return graphgen.Complete(48) }},
+		{"random", func() (*graph.Graph, error) {
+			return graphgen.RandomConnected(100, 400, rand.New(rand.NewSource(9)))
+		}},
+	}
+	for _, b := range builders {
+		g, err := b.build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		dfs, err := explore.Run(g, 0, nil, explore.NewDFS(), 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %6d %8d   %-14s %12d %8d %9v %6v\n",
+			b.name, g.N(), g.M(), "dfs-no-advice", 0, dfs.Moves, dfs.Complete, dfs.Home)
+		advice, err := explore.TreeOracle(g, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var a sim.Advice = advice
+		tree, err := explore.Run(g, 0, advice, explore.NewTree(), 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %6d %8d   %-14s %12d %8d %9v %6v\n",
+			b.name, g.N(), g.M(), "tree-advice", a.SizeBits(), tree.Moves, tree.Complete, tree.Home)
+	}
+
+	fmt.Println()
+	fmt.Println("Tree advice pins the walk to 2(n-1) moves regardless of density;")
+	fmt.Println("without it, the agent pays for every edge it must rule out. The")
+	fmt.Println("paper's oracle-size measure prices that difference in bits.")
+}

@@ -1,0 +1,3 @@
+module oraclesize
+
+go 1.22

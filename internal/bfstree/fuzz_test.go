@@ -1,0 +1,33 @@
+package bfstree
+
+import (
+	"testing"
+
+	"oraclesize/internal/bitstring"
+)
+
+// FuzzDecodeAdvice: arbitrary advice decodes or errors, never panics, and
+// decoded values are structurally sane.
+func FuzzDecodeAdvice(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0b00111100, 0x00})
+	f.Add([]byte{0xff, 0xff, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var w bitstring.Writer
+		for _, b := range data {
+			for i := 0; i < 8; i++ {
+				w.WriteBit(b&(1<<uint(i)) != 0)
+			}
+		}
+		dist, parent, err := DecodeAdvice(w.String())
+		if err != nil {
+			return
+		}
+		if dist < 0 {
+			t.Fatalf("negative distance %d", dist)
+		}
+		if parent < -1 {
+			t.Fatalf("parent port %d", parent)
+		}
+	})
+}

@@ -1,0 +1,296 @@
+package bitstring
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// This file implements the self-delimiting integer codes used by the oracle
+// constructions. Every code is exposed both as Append*/Read* primitives on
+// Writer/Reader and as a Codec value so experiments can sweep codecs.
+
+// AppendDoubled appends the paper's code β for the non-negative integer v:
+// every bit of the standard binary representation b1...br of v is written
+// twice, and the code is terminated by the pair "10". This is the exact
+// construction from the proof of Theorem 2.1. The code for v has length
+// 2·#2(v) + 2 bits.
+func (w *Writer) AppendDoubled(v uint64) {
+	width := Num2(v)
+	for i := width - 1; i >= 0; i-- {
+		b := v&(1<<uint(i)) != 0
+		w.WriteBit(b)
+		w.WriteBit(b)
+	}
+	w.WriteBit(true)
+	w.WriteBit(false)
+}
+
+// ReadDoubled decodes one β-coded integer: it consumes doubled-bit pairs
+// until the terminator pair "10". Decoding is strict: only strings the
+// encoder can produce are accepted, so a leading zero digit is legal only
+// for the single-digit code of 0 (the binary representation of any v >= 1
+// starts with a 1).
+func (r *Reader) ReadDoubled() (uint64, error) {
+	var v uint64
+	digits := 0
+	leadingZero := false
+	for {
+		b1, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		b2, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		switch {
+		case b1 == b2:
+			if digits == 64 {
+				return 0, fmt.Errorf("%w: doubled code exceeds 64 bits", ErrMalformed)
+			}
+			if digits == 0 && !b1 {
+				leadingZero = true
+			}
+			v <<= 1
+			if b1 {
+				v |= 1
+			}
+			digits++
+		case b1 && !b2: // terminator "10"
+			if digits == 0 {
+				return 0, fmt.Errorf("%w: empty doubled code", ErrMalformed)
+			}
+			if leadingZero && digits > 1 {
+				return 0, fmt.Errorf("%w: non-canonical leading zero in doubled code", ErrMalformed)
+			}
+			return v, nil
+		default: // "01" is not produced by the encoder
+			return 0, fmt.Errorf("%w: unexpected pair 01 in doubled code", ErrMalformed)
+		}
+	}
+}
+
+// DoubledLen reports the bit length of the β code for v.
+func DoubledLen(v uint64) int { return 2*Num2(v) + 2 }
+
+// AppendEliasGamma appends the Elias gamma code of v >= 1: floor(log2 v)
+// zeros followed by the binary representation of v. Length 2·#2(v) - 1.
+// It panics on v == 0; callers encoding values that may be zero should shift
+// by one (see AppendGamma0).
+func (w *Writer) AppendEliasGamma(v uint64) {
+	if v == 0 {
+		panic("bitstring: Elias gamma is undefined for 0")
+	}
+	width := bits.Len64(v)
+	for i := 0; i < width-1; i++ {
+		w.WriteBit(false)
+	}
+	w.WriteFixed(v, width)
+}
+
+// ReadEliasGamma decodes one Elias gamma code.
+func (r *Reader) ReadEliasGamma() (uint64, error) {
+	zeros := 0
+	for {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		if b {
+			break
+		}
+		zeros++
+		if zeros >= 64 {
+			return 0, fmt.Errorf("%w: gamma code exceeds 64 bits", ErrMalformed)
+		}
+	}
+	v := uint64(1)
+	for i := 0; i < zeros; i++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		v <<= 1
+		if b {
+			v |= 1
+		}
+	}
+	return v, nil
+}
+
+// EliasGammaLen reports the bit length of the gamma code for v >= 1.
+func EliasGammaLen(v uint64) int { return 2*bits.Len64(v) - 1 }
+
+// AppendGamma0 appends the gamma code of v+1, allowing v == 0.
+func (w *Writer) AppendGamma0(v uint64) { w.AppendEliasGamma(v + 1) }
+
+// ReadGamma0 decodes a value written by AppendGamma0.
+func (r *Reader) ReadGamma0() (uint64, error) {
+	v, err := r.ReadEliasGamma()
+	if err != nil {
+		return 0, err
+	}
+	return v - 1, nil
+}
+
+// Gamma0Len reports the bit length of the shifted gamma code for v >= 0.
+func Gamma0Len(v uint64) int { return EliasGammaLen(v + 1) }
+
+// AppendEliasDelta appends the Elias delta code of v >= 1: the gamma code of
+// #2(v) followed by the binary representation of v without its leading 1.
+func (w *Writer) AppendEliasDelta(v uint64) {
+	if v == 0 {
+		panic("bitstring: Elias delta is undefined for 0")
+	}
+	width := bits.Len64(v)
+	w.AppendEliasGamma(uint64(width))
+	if width > 1 {
+		w.WriteFixed(v&((1<<uint(width-1))-1), width-1)
+	}
+}
+
+// ReadEliasDelta decodes one Elias delta code.
+func (r *Reader) ReadEliasDelta() (uint64, error) {
+	width, err := r.ReadEliasGamma()
+	if err != nil {
+		return 0, err
+	}
+	if width == 0 || width > 64 {
+		return 0, fmt.Errorf("%w: delta width %d", ErrMalformed, width)
+	}
+	rest, err := r.ReadFixed(int(width - 1))
+	if err != nil {
+		return 0, err
+	}
+	return 1<<(width-1) | rest, nil
+}
+
+// EliasDeltaLen reports the bit length of the delta code for v >= 1.
+func EliasDeltaLen(v uint64) int {
+	width := bits.Len64(v)
+	return EliasGammaLen(uint64(width)) + width - 1
+}
+
+// AppendUnary appends v in unary: v ones followed by a zero.
+func (w *Writer) AppendUnary(v uint64) {
+	for i := uint64(0); i < v; i++ {
+		w.WriteBit(true)
+	}
+	w.WriteBit(false)
+}
+
+// ReadUnary decodes one unary-coded value.
+func (r *Reader) ReadUnary() (uint64, error) {
+	var v uint64
+	for {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		if !b {
+			return v, nil
+		}
+		v++
+	}
+}
+
+// UnaryLen reports the bit length of the unary code for v.
+func UnaryLen(v uint64) int { return int(v) + 1 }
+
+// AppendRice appends the Rice code of v with parameter k: the quotient
+// v >> k in unary, then the remainder in k fixed bits. Optimal for
+// geometrically distributed values with mean ~2^k.
+func (w *Writer) AppendRice(v uint64, k int) {
+	if k < 0 || k > 62 {
+		panic(fmt.Sprintf("bitstring: invalid Rice parameter %d", k))
+	}
+	w.AppendUnary(v >> uint(k))
+	w.WriteFixed(v&((1<<uint(k))-1), k)
+}
+
+// ReadRice decodes one Rice code with parameter k.
+func (r *Reader) ReadRice(k int) (uint64, error) {
+	if k < 0 || k > 62 {
+		return 0, fmt.Errorf("bitstring: invalid Rice parameter %d", k)
+	}
+	q, err := r.ReadUnary()
+	if err != nil {
+		return 0, err
+	}
+	rem, err := r.ReadFixed(k)
+	if err != nil {
+		return 0, err
+	}
+	return q<<uint(k) | rem, nil
+}
+
+// RiceLen reports the bit length of the Rice code of v with parameter k.
+func RiceLen(v uint64, k int) int {
+	return int(v>>uint(k)) + 1 + k
+}
+
+// Codec is a pluggable self-delimiting code for non-negative integers,
+// used by the broadcast oracle to sweep encoding choices in experiments.
+type Codec struct {
+	// Name identifies the codec in experiment tables.
+	Name string
+	// Append encodes v onto w.
+	Append func(w *Writer, v uint64)
+	// Read decodes one value.
+	Read func(r *Reader) (uint64, error)
+	// Len reports the encoded bit length of v.
+	Len func(v uint64) int
+}
+
+// Codecs returns the self-delimiting codecs implemented by this package,
+// each valid for all v >= 0.
+func Codecs() []Codec {
+	return []Codec{
+		{
+			Name:   "doubled",
+			Append: (*Writer).AppendDoubled,
+			Read:   (*Reader).ReadDoubled,
+			Len:    DoubledLen,
+		},
+		{
+			Name:   "gamma",
+			Append: (*Writer).AppendGamma0,
+			Read:   (*Reader).ReadGamma0,
+			Len:    Gamma0Len,
+		},
+		{
+			Name:   "delta",
+			Append: func(w *Writer, v uint64) { w.AppendEliasDelta(v + 1) },
+			Read: func(r *Reader) (uint64, error) {
+				v, err := r.ReadEliasDelta()
+				if err != nil {
+					return 0, err
+				}
+				return v - 1, nil
+			},
+			Len: func(v uint64) int { return EliasDeltaLen(v + 1) },
+		},
+		{
+			Name:   "unary",
+			Append: (*Writer).AppendUnary,
+			Read:   (*Reader).ReadUnary,
+			Len:    UnaryLen,
+		},
+		{
+			Name:   "rice2",
+			Append: func(w *Writer, v uint64) { w.AppendRice(v, 2) },
+			Read:   func(r *Reader) (uint64, error) { return r.ReadRice(2) },
+			Len:    func(v uint64) int { return RiceLen(v, 2) },
+		},
+	}
+}
+
+// CodecByName returns the codec with the given name.
+func CodecByName(name string) (Codec, error) {
+	for _, c := range Codecs() {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return Codec{}, fmt.Errorf("bitstring: unknown codec %q", name)
+}

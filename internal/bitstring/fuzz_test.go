@@ -1,0 +1,92 @@
+package bitstring
+
+import (
+	"testing"
+)
+
+// Fuzz targets: every decoder must be total — any bit string either decodes
+// or returns an error, never panics, and decoding what the encoder produced
+// returns the original value. Run with `go test -fuzz=FuzzX` for deep
+// exploration; the seed corpus below runs as part of the normal test suite.
+
+func bitsFromBytes(data []byte) String {
+	var w Writer
+	for _, b := range data {
+		for i := 0; i < 8; i++ {
+			w.WriteBit(b&(1<<uint(i)) != 0)
+		}
+	}
+	return w.String()
+}
+
+func FuzzReadDoubled(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Add([]byte{0xff, 0x0f})
+	f.Add([]byte{0b00000010}) // "0100..." style patterns
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := bitsFromBytes(data)
+		r := NewReader(s)
+		v, err := r.ReadDoubled()
+		if err != nil {
+			return
+		}
+		// Whatever decoded must re-encode to a prefix of the input.
+		var w Writer
+		w.AppendDoubled(v)
+		enc := w.String()
+		if enc.Len() > s.Len() {
+			t.Fatalf("decoded %d from %d bits but re-encoding needs %d", v, s.Len(), enc.Len())
+		}
+		if !s.Slice(0, enc.Len()).Equal(enc) {
+			t.Fatalf("re-encoding of %d is not a prefix of the input", v)
+		}
+	})
+}
+
+func FuzzReadEliasGamma(f *testing.F) {
+	f.Add([]byte{0x01})
+	f.Add([]byte{0xaa, 0x55})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := bitsFromBytes(data)
+		r := NewReader(s)
+		v, err := r.ReadEliasGamma()
+		if err != nil {
+			return
+		}
+		if v == 0 {
+			t.Fatal("gamma decoded 0")
+		}
+		var w Writer
+		w.AppendEliasGamma(v)
+		enc := w.String()
+		if enc.Len() > s.Len() || !s.Slice(0, enc.Len()).Equal(enc) {
+			t.Fatalf("gamma round trip mismatch for %d", v)
+		}
+	})
+}
+
+func FuzzCodecsRoundTrip(f *testing.F) {
+	f.Add(uint64(0))
+	f.Add(uint64(1))
+	f.Add(uint64(255))
+	f.Add(uint64(1) << 40)
+	f.Fuzz(func(t *testing.T, v uint64) {
+		for _, c := range Codecs() {
+			val := v
+			if c.Name == "unary" || c.Name == "rice2" {
+				val %= 1 << 16 // keep unary-family codes bounded
+			}
+			var w Writer
+			c.Append(&w, val)
+			s := w.String()
+			if s.Len() != c.Len(val) {
+				t.Fatalf("%s: Len(%d) = %d but encoded %d bits", c.Name, val, c.Len(val), s.Len())
+			}
+			got, err := c.Read(NewReader(s))
+			if err != nil || got != val {
+				t.Fatalf("%s: round trip %d -> %d (%v)", c.Name, val, got, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,280 @@
+// Package broadcast implements the paper's Theorem 3.1: an oracle of size
+// O(n) bits that lets an anonymous, asynchronous network broadcast with a
+// linear number of messages — strictly less knowledge than the Θ(n log n)
+// an equally-efficient wakeup needs (Theorem 2.2).
+//
+// The construction weights every edge e = {u,v} by
+// w(e) = min{port_u(e), port_v(e)} and computes the light spanning tree T0
+// of Claim 3.1, whose total weight-encoding contribution Σ #2(w(e)) is at
+// most 4n. For each tree edge, the oracle gives the binary representation
+// of w(e) to the endpoint whose port number equals the weight; a node's
+// advice is the self-delimiting concatenation of its assigned weights, i.e.
+// the list of its known tree ports K_x. Scheme B (the paper's Figure 1)
+// then uses spontaneous "hello" control messages to make every tree edge
+// known at both endpoints — the spontaneity is exactly what wakeup forbids
+// — and floods the source message along the tree.
+package broadcast
+
+import (
+	"fmt"
+
+	"oraclesize/internal/bitstring"
+	"oraclesize/internal/graph"
+	"oraclesize/internal/scheme"
+	"oraclesize/internal/sim"
+	"oraclesize/internal/spantree"
+)
+
+// TreeKind selects the spanning tree whose edges the oracle reveals.
+// Scheme B works over any spanning tree; the choice trades advice bits
+// against completion time.
+type TreeKind uint8
+
+// Spanning tree choices for Oracle.
+const (
+	// TreeLight is the Claim 3.1 construction: O(n) bits, but the tree
+	// may be deep (slow completion). The paper's choice.
+	TreeLight TreeKind = iota
+	// TreeBFS roots a breadth-first tree at the source: depth-optimal
+	// completion, but edge weights are unconstrained, so the advice can
+	// cost Θ(n log n) bits — the knowledge/time trade-off the paper's
+	// conclusion asks about.
+	TreeBFS
+)
+
+// Oracle is the Theorem 3.1 broadcast oracle.
+type Oracle struct {
+	// Codec self-delimits the per-port weights; nil selects the paper's
+	// doubled-bit code.
+	Codec *bitstring.Codec
+	// Tree selects the spanning tree; zero value is the paper's light
+	// tree.
+	Tree TreeKind
+}
+
+// Name implements oracle.Oracle.
+func (o Oracle) Name() string { return "broadcast-light-tree" }
+
+// ResolvedCodec returns the self-delimiting codec this oracle (and its
+// matching scheme) will use — the explicit Codec, or the paper's
+// doubled-bit code by default. Exposed for consumers of the advice format
+// outside this package (e.g. the spanner selector).
+func (o Oracle) ResolvedCodec() bitstring.Codec { return o.codec() }
+
+func (o Oracle) codec() bitstring.Codec {
+	if o.Codec != nil {
+		return *o.Codec
+	}
+	c, err := bitstring.CodecByName("doubled")
+	if err != nil {
+		panic(err) // the codec table always contains "doubled"
+	}
+	return c
+}
+
+// Advise implements oracle.Oracle. With the default light tree the source
+// parameter is unused: the oracle's information is independent of the
+// source, another contrast with the wakeup oracle (whose tree must be
+// rooted at the source). With TreeBFS the tree is rooted at the source to
+// make completion time proportional to the eccentricity.
+func (o Oracle) Advise(g *graph.Graph, source graph.NodeID) (sim.Advice, error) {
+	var edges []graph.Edge
+	var err error
+	switch o.Tree {
+	case TreeLight:
+		edges, err = spantree.Light(g)
+	case TreeBFS:
+		var tree *spantree.Tree
+		tree, err = spantree.BFS(g, source)
+		if err == nil {
+			edges = tree.Edges()
+		}
+	default:
+		return nil, fmt.Errorf("broadcast: unknown tree kind %d", o.Tree)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return o.adviseForTree(g, edges)
+}
+
+func (o Oracle) adviseForTree(g *graph.Graph, edges []graph.Edge) (sim.Advice, error) {
+	codec := o.codec()
+	ports := make(map[graph.NodeID][]int, g.N())
+	for _, e := range edges {
+		x, p := AssignedEndpoint(e)
+		ports[x] = append(ports[x], p)
+	}
+	advice := make(sim.Advice, len(ports))
+	for v, ps := range ports {
+		var w bitstring.Writer
+		for _, p := range ps {
+			codec.Append(&w, uint64(p))
+		}
+		advice[v] = w.String()
+	}
+	return advice, nil
+}
+
+// AssignedEndpoint returns the endpoint x of e that receives the weight
+// w(e), i.e. the one with port_x(e) = w(e), and the port value itself.
+// Ties (equal ports) go to the canonical smaller endpoint.
+func AssignedEndpoint(e graph.Edge) (graph.NodeID, int) {
+	e = e.Canonical()
+	if e.PU <= e.PV {
+		return e.U, e.PU
+	}
+	return e.V, e.PV
+}
+
+// DecodePorts parses an advice string back into the list of known ports
+// K_x, under the given codec.
+func DecodePorts(s bitstring.String, codec bitstring.Codec) ([]int, error) {
+	r := bitstring.NewReader(s)
+	var ports []int
+	for r.Remaining() > 0 {
+		p, err := codec.Read(r)
+		if err != nil {
+			return nil, fmt.Errorf("broadcast: decoding port list: %w", err)
+		}
+		ports = append(ports, int(p))
+	}
+	return ports, nil
+}
+
+// Algorithm is the paper's Scheme B (Figure 1). Each node tracks three port
+// sets:
+//
+//	K_x — incident tree edges known to x (oracle ports, plus ports on
+//	      which messages arrived),
+//	H_x — ports on which a "hello" may still be owed,
+//	S_x — ports through which the source message M has already transited.
+//
+// At startup every node spontaneously sends "hello" on its oracle-known
+// ports (the broadcast-only power), so each tree edge becomes known at both
+// endpoints. Once a node is informed it keeps the invariant S_x = K_x by
+// sending M on every newly learned port.
+type Algorithm struct {
+	// Codec must match the oracle's; nil selects the paper's doubled-bit
+	// code.
+	Codec *bitstring.Codec
+}
+
+// Name implements scheme.Algorithm.
+func (Algorithm) Name() string { return "scheme-B" }
+
+// NewNode implements scheme.Algorithm.
+func (a Algorithm) NewNode(info scheme.NodeInfo) scheme.Node {
+	codec := Oracle{Codec: a.Codec}.codec()
+	nd := &node{info: info}
+	ports, err := DecodePorts(info.Advice, codec)
+	if err != nil {
+		// Malformed advice (wrong codec pairing): start with no knowledge;
+		// the run will stall visibly rather than panic.
+		ports = nil
+	}
+	nd.known = make(map[int]bool, len(ports))
+	for _, p := range ports {
+		if p >= 0 && p < info.Degree {
+			nd.known[p] = true
+		}
+	}
+	return nd
+}
+
+type node struct {
+	info     scheme.NodeInfo
+	informed bool
+	known    map[int]bool // K_x
+	sentM    map[int]bool // S_x
+}
+
+func (nd *node) Init() []scheme.Send {
+	nd.sentM = make(map[int]bool, len(nd.known))
+	var sends []scheme.Send
+	if nd.info.Source {
+		nd.informed = true
+		sends = nd.flushM()
+		// H_x ← H_x \ S_x leaves nothing: the source already sent M on
+		// every known port, so it owes no hellos.
+		return sends
+	}
+	// Non-source: H_x = K_x, send hello everywhere, H_x ← ∅.
+	for p := 0; p < nd.info.Degree; p++ {
+		if nd.known[p] {
+			sends = append(sends, scheme.Send{Port: p, Msg: scheme.Message{Kind: scheme.KindHello}})
+		}
+	}
+	return sends
+}
+
+func (nd *node) Receive(msg scheme.Message, port int) []scheme.Send {
+	nd.known[port] = true
+	if msg.Informed {
+		// The source message transited this edge (it is appended to every
+		// message an informed node sends), so never send M back on it.
+		nd.sentM[port] = true
+		nd.informed = true
+	}
+	if !nd.informed {
+		return nil
+	}
+	return nd.flushM()
+}
+
+// flushM restores the invariant S_x = K_x: send M on all known ports it has
+// not yet transited.
+func (nd *node) flushM() []scheme.Send {
+	var sends []scheme.Send
+	for p := 0; p < nd.info.Degree; p++ {
+		if nd.known[p] && !nd.sentM[p] {
+			nd.sentM[p] = true
+			sends = append(sends, scheme.Send{Port: p, Msg: scheme.Message{Kind: scheme.KindM}})
+		}
+	}
+	return sends
+}
+
+// Flooding is the zero-advice broadcast baseline (identical to wakeup
+// flooding: spontaneity buys nothing without knowledge to encode).
+type Flooding struct{}
+
+// Name implements scheme.Algorithm.
+func (Flooding) Name() string { return "broadcast-flooding" }
+
+// NewNode implements scheme.Algorithm.
+func (Flooding) NewNode(info scheme.NodeInfo) scheme.Node {
+	return &floodNode{info: info}
+}
+
+type floodNode struct {
+	info     scheme.NodeInfo
+	informed bool
+}
+
+func (nd *floodNode) Init() []scheme.Send {
+	if !nd.info.Source {
+		return nil
+	}
+	nd.informed = true
+	return floodAll(nd.info.Degree, -1)
+}
+
+func (nd *floodNode) Receive(msg scheme.Message, port int) []scheme.Send {
+	if nd.informed || !msg.Informed {
+		return nil
+	}
+	nd.informed = true
+	return floodAll(nd.info.Degree, port)
+}
+
+func floodAll(degree, except int) []scheme.Send {
+	sends := make([]scheme.Send, 0, degree)
+	for p := 0; p < degree; p++ {
+		if p == except {
+			continue
+		}
+		sends = append(sends, scheme.Send{Port: p, Msg: scheme.Message{Kind: scheme.KindM}})
+	}
+	return sends
+}

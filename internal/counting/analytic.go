@@ -1,0 +1,151 @@
+package counting
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file provides log-gamma-based evaluations of the same quantities as
+// counting.go, usable at sizes (n up to 2^60 and beyond) where the exact
+// big-integer sums would be infeasible. All internal arithmetic is float64
+// so that intermediate counts like C(n,2) ~ n^2/2 cannot overflow. Tests
+// pin the analytic versions to the exact ones on overlapping ranges.
+//
+// Both lower-bound theorems are asymptotic: the exact forced-message bounds
+// are negative at laptop-scale n and cross zero around n = 2^14..2^16 (see
+// EXPERIMENTS.md); the analytic forms here are what make the crossover and
+// the Θ(n log n) growth observable.
+
+// Log2Factorial returns log2(n!) via the log-gamma function.
+func Log2Factorial(n int64) float64 { return log2FactorialF(float64(n)) }
+
+func log2FactorialF(n float64) float64 {
+	if n <= 1 {
+		return 0
+	}
+	lg, _ := math.Lgamma(n + 1)
+	return lg / math.Ln2
+}
+
+// Log2Binomial returns log2 C(n, k) via log-gamma; -Inf outside the range.
+func Log2Binomial(n, k int64) float64 { return log2BinomialF(float64(n), float64(k)) }
+
+func log2BinomialF(n, k float64) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	return log2FallingF(n, k) - log2FactorialF(k)
+}
+
+// Log2FallingFactorial returns log2(n·(n-1)···(n-k+1)).
+func Log2FallingFactorial(n, k int64) float64 { return log2FallingF(float64(n), float64(k)) }
+
+// log2FallingF computes log2 of the falling factorial without the
+// catastrophic cancellation of lgamma(n+1) - lgamma(n-k+1): when k << n
+// both lgamma values are ~n·ln n while the result is only ~k·ln n, so the
+// naive difference loses all precision for n beyond ~2^45. The Stirling
+// difference is instead arranged as
+//
+//	ln falling = -(n-k+1/2)·ln(1 - k/n) + k·ln(n) - k + series terms
+//
+// whose summands are all of the result's own magnitude.
+func log2FallingF(n, k float64) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	if k == 0 {
+		return 0
+	}
+	if k == n {
+		return log2FactorialF(n)
+	}
+	if n < 1e8 {
+		// Plain lgamma is exact enough here and handles small-argument
+		// regimes where Stirling's series is weakest.
+		return log2FactorialF(n) - log2FactorialF(n-k)
+	}
+	r := n - k
+	// Stirling with the 1/(12x) correction; for x >= 1e7 the next term is
+	// far below float64 noise.
+	lnFalling := -(r+0.5)*math.Log1p(-k/n) + k*math.Log(n) - k + 1/(12*n) - 1/(12*math.Max(r, 1))
+	return lnFalling / math.Ln2
+}
+
+// Log2WakeupInstances is the analytic form of log2 P for Theorem 2.2.
+func Log2WakeupInstances(n int64) float64 {
+	nf := float64(n)
+	edges := nf * (nf - 1) / 2
+	return log2FallingF(edges, nf)
+}
+
+// Log2OracleOutputs evaluates log2 Q analytically. The summand
+// T(q') = 2^q'·C(q'+nodes-1, nodes-1) grows by a factor
+// r(q') = 2(q'+nodes)/(q'+1) >= 2 at each step, so the tail below the last
+// term converges geometrically; summing a few hundred trailing terms in
+// floating point captures Q to machine precision.
+func Log2OracleOutputs(q, nodes int64) float64 {
+	if q < 0 {
+		return math.Inf(-1)
+	}
+	logTop := float64(q) + log2BinomialF(float64(q+nodes-1), float64(nodes-1))
+	// acc = Q / T(q) = 1 + 1/r(q-1) + 1/(r(q-1)r(q-2)) + ...
+	acc := 1.0
+	weight := 1.0
+	for qp := q - 1; qp >= 0 && qp > q-400; qp-- {
+		ratio := 2 * float64(qp+nodes) / float64(qp+1)
+		weight /= ratio
+		acc += weight
+		if weight < 1e-18 {
+			break
+		}
+	}
+	return logTop + math.Log2(acc)
+}
+
+// WakeupForcedAnalytic is WakeupForced evaluated with log-gamma arithmetic;
+// usable while the bit budget α·2n·log2(2n) fits in int64 (n up to ~2^54).
+func WakeupForcedAnalytic(n int64, alpha float64) WakeupBound {
+	nodes := 2 * n
+	qf := alpha * float64(nodes) * math.Log2(float64(nodes))
+	if qf > float64(1)*(1<<62) {
+		panic(fmt.Sprintf("counting: oracle budget %.3g bits overflows int64", qf))
+	}
+	q := int64(qf)
+	log2P := Log2WakeupInstances(n)
+	log2Q := Log2OracleOutputs(q, nodes)
+	beta := 0.25 + alpha/2
+	return WakeupBound{
+		N:          n,
+		Alpha:      alpha,
+		QBits:      q,
+		Log2P:      log2P,
+		Log2Q:      log2Q,
+		ForcedMsgs: log2P - log2Q - Log2Factorial(n),
+		ClosedForm: (1 - 2*beta) * float64(n) * math.Log2(float64(n)/2),
+	}
+}
+
+// BroadcastForcedAnalytic is BroadcastForced evaluated with log-gamma
+// arithmetic.
+func BroadcastForcedAnalytic(n, k int64) (BroadcastBound, error) {
+	if k < 3 || n%(4*k) != 0 {
+		return BroadcastBound{}, errBroadcastParams(n, k)
+	}
+	nf := float64(n)
+	edges := nf * (nf - 1) / 2
+	x := nf / (4 * float64(k))
+	y := 3 * nf / (4 * float64(k))
+	q := n / (2 * k)
+	nodes := 2 * n
+	log2PPrime := log2BinomialF(edges-y, x)
+	log2Q := Log2OracleOutputs(q, nodes)
+	return BroadcastBound{
+		N:          n,
+		K:          k,
+		QBits:      q,
+		Log2PPrime: log2PPrime,
+		Log2Q:      log2Q,
+		ForcedMsgs: log2PPrime - log2Q,
+		Threshold:  nf * float64(k-1) / 8,
+	}, nil
+}

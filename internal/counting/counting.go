@@ -1,0 +1,196 @@
+// Package counting reproduces the paper's counting arguments with exact
+// big-integer arithmetic: the instance counts P (Equations 2 and 6), the
+// oracle-output counts Q (Equations 3 and 7), Claim 2.1, and the forced
+// message complexities of Theorem 2.2 (wakeup) and Theorem 3.2 / Claim 3.3
+// (broadcast). These are the numbers behind the lower-bound "curves" the
+// experiments regenerate.
+package counting
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+)
+
+// Binomial returns C(n, k) exactly; it is 0 for k < 0 or k > n.
+func Binomial(n, k int64) *big.Int {
+	if k < 0 || k > n {
+		return big.NewInt(0)
+	}
+	return new(big.Int).Binomial(n, k)
+}
+
+// Factorial returns n! exactly.
+func Factorial(n int64) *big.Int {
+	return new(big.Int).MulRange(1, n)
+}
+
+// FallingFactorial returns n·(n-1)···(n-k+1) exactly (the number of ordered
+// k-tuples of distinct items from n).
+func FallingFactorial(n, k int64) *big.Int {
+	if k < 0 || k > n {
+		return big.NewInt(0)
+	}
+	if k == 0 {
+		return big.NewInt(1)
+	}
+	return new(big.Int).MulRange(n-k+1, n)
+}
+
+// Log2 returns log2(x) as a float64 for a positive big integer, accurate to
+// well under one bit even for numbers with millions of bits.
+func Log2(x *big.Int) float64 {
+	if x.Sign() <= 0 {
+		return math.Inf(-1)
+	}
+	bits := x.BitLen()
+	// Use the top 53 significant bits as the mantissa.
+	shift := bits - 53
+	if shift < 0 {
+		shift = 0
+	}
+	top := new(big.Int).Rsh(x, uint(shift))
+	f, _ := new(big.Float).SetInt(top).Float64()
+	return math.Log2(f) + float64(shift)
+}
+
+// Log2Ratio returns log2(a/b) for positive big integers.
+func Log2Ratio(a, b *big.Int) float64 {
+	return Log2(a) - Log2(b)
+}
+
+// WakeupInstances is the paper's P for Theorem 2.2: the number of graphs
+// G_{n,S} over all n-tuples S of distinct edges of K*_n, i.e. the falling
+// factorial of C(n,2) over n, equal to n!·C(C(n,2), n).
+func WakeupInstances(n int64) *big.Int {
+	edges := n * (n - 1) / 2
+	return FallingFactorial(edges, n)
+}
+
+// OracleOutputs is the paper's Q (Equation 3): the number of distinct
+// advice assignments an oracle of size at most q bits can produce for
+// graphs with `nodes` nodes:
+//
+//	Q = Σ_{q'=0}^{q} 2^{q'} · C(q'+nodes-1, nodes-1)
+//
+// (each total length q' can be split into `nodes` ordered, possibly empty
+// strings in C(q'+nodes-1, nodes-1) ways).
+func OracleOutputs(q, nodes int64) *big.Int {
+	total := new(big.Int)
+	// term(q') = 2^q'·C(q'+nodes-1, nodes-1); maintained incrementally via
+	// term(q'+1) = term(q') · 2(q'+nodes)/(q'+1).
+	term := big.NewInt(1)
+	for qp := int64(0); ; qp++ {
+		total.Add(total, term)
+		if qp == q {
+			return total
+		}
+		term.Mul(term, big.NewInt(2*(qp+nodes)))
+		term.Div(term, big.NewInt(qp+1))
+	}
+}
+
+// OracleOutputsUpper is the paper's closed-form upper bound on Q used in
+// the proof: (q+1)·2^q·C(q+nodes, nodes).
+func OracleOutputsUpper(q, nodes int64) *big.Int {
+	out := new(big.Int).Lsh(big.NewInt(1), uint(q))
+	out.Mul(out, big.NewInt(q+1))
+	out.Mul(out, Binomial(q+nodes, nodes))
+	return out
+}
+
+// WakeupBound holds one evaluation of the Theorem 2.2 machinery for a
+// (2n)-node family with an oracle budget of q = α·(2n)·log2(2n) bits.
+type WakeupBound struct {
+	N          int64   // half the node count (the K*_n part)
+	Alpha      float64 // oracle budget coefficient
+	QBits      int64   // oracle budget in bits
+	Log2P      float64 // log2 of the instance count (Equation 2, exact)
+	Log2Q      float64 // log2 of the output count (exact sum, Equation 3)
+	ForcedMsgs float64 // Lemma 2.1 bound: log2(P/Q) - log2(n!)
+	ClosedForm float64 // the paper's (1-2β)·n·log2(n/2) with β = 1/4+α/2
+}
+
+// WakeupForced evaluates the Theorem 2.2 lower bound exactly: with an
+// oracle of at most q = α(2n)log(2n) bits on 2n-node graphs, some G_{n,S}
+// forces at least log2(P/Q) - log2(n!) messages.
+func WakeupForced(n int64, alpha float64) WakeupBound {
+	nodes := 2 * n
+	q := int64(alpha * float64(nodes) * math.Log2(float64(nodes)))
+	p := WakeupInstances(n)
+	qCount := OracleOutputs(q, nodes)
+	forced := Log2Ratio(p, qCount) - Log2(Factorial(n))
+	beta := 0.25 + alpha/2
+	closed := (1 - 2*beta) * float64(n) * math.Log2(float64(n)/2)
+	return WakeupBound{
+		N:          n,
+		Alpha:      alpha,
+		QBits:      q,
+		Log2P:      Log2(p),
+		Log2Q:      Log2(qCount),
+		ForcedMsgs: forced,
+		ClosedForm: closed,
+	}
+}
+
+// Claim21Holds checks the paper's Claim 2.1 instance-by-instance:
+// C(a(1+b), a) <= (6b)^a.
+func Claim21Holds(a, b int64) bool {
+	lhs := Binomial(a*(1+b), a)
+	rhs := new(big.Int).Exp(big.NewInt(6*b), big.NewInt(a), nil)
+	return lhs.Cmp(rhs) <= 0
+}
+
+// BroadcastBound holds one evaluation of the Theorem 3.2 / Claim 3.3
+// machinery on the family G_{n,k} (2n nodes, n/k cliques of size k).
+type BroadcastBound struct {
+	N, K       int64
+	QBits      int64   // oracle budget n/(2k) from Claim 3.3
+	Log2PPrime float64 // log2 P' (Equation 6, exact)
+	Log2Q      float64 // log2 Q for the budget (exact sum)
+	ForcedMsgs float64 // Lemma 2.1: log2(P'/Q)
+	Threshold  float64 // the contradiction threshold n(k-1)/8
+}
+
+// BroadcastForced evaluates Claim 3.3's counting exactly. The instance
+// count for fixed Y (|Y| = 3n/4k known non-special edges) and |X| = n/4k
+// hidden special edges is P = |X|!·P' with
+// P' = C(C(n,2) - 3n/(4k), n/(4k)); an oracle of q = n/(2k) bits yields at
+// most Q outputs; Lemma 2.1 then forces log2(P'/Q) messages, which Claim
+// 3.3 plays against the threshold n(k-1)/8.
+func BroadcastForced(n, k int64) (BroadcastBound, error) {
+	if k < 3 || n%(4*k) != 0 {
+		return BroadcastBound{}, errBroadcastParams(n, k)
+	}
+	edges := n * (n - 1) / 2
+	x := n / (4 * k)
+	y := 3 * n / (4 * k)
+	pPrime := Binomial(edges-y, x)
+	q := n / (2 * k)
+	nodes := 2 * n
+	qCount := OracleOutputs(q, nodes)
+	forced := Log2Ratio(pPrime, qCount)
+	return BroadcastBound{
+		N:          n,
+		K:          k,
+		QBits:      q,
+		Log2PPrime: Log2(pPrime),
+		Log2Q:      Log2(qCount),
+		ForcedMsgs: forced,
+		Threshold:  float64(n) * float64(k-1) / 8,
+	}, nil
+}
+
+func errBroadcastParams(n, k int64) error {
+	return fmt.Errorf("counting: need k >= 3 and 4k | n, got n=%d k=%d", n, k)
+}
+
+// Stirling bounds used in the Claim 2.1 proof: sqrt(2πn)(n/e)^n /2 <= n! <=
+// 2·sqrt(2πn)(n/e)^n for n past a small threshold. StirlingSandwiched
+// reports whether the sandwich holds for n.
+func StirlingSandwiched(n int64) bool {
+	fact := Log2(Factorial(n))
+	nf := float64(n)
+	stirling := 0.5*math.Log2(2*math.Pi*nf) + nf*math.Log2(nf/math.E)
+	return stirling-1 <= fact && fact <= stirling+1
+}

@@ -1,0 +1,351 @@
+package counting
+
+import (
+	"math"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinomial(t *testing.T) {
+	tests := []struct {
+		n, k int64
+		want int64
+	}{
+		{0, 0, 1}, {5, 0, 1}, {5, 5, 1}, {5, 2, 10}, {10, 3, 120},
+		{5, 6, 0}, {5, -1, 0},
+	}
+	for _, tc := range tests {
+		if got := Binomial(tc.n, tc.k); got.Int64() != tc.want {
+			t.Errorf("C(%d,%d) = %v, want %d", tc.n, tc.k, got, tc.want)
+		}
+	}
+}
+
+func TestFactorialAndFalling(t *testing.T) {
+	if Factorial(0).Int64() != 1 || Factorial(5).Int64() != 120 {
+		t.Error("factorial broken")
+	}
+	if FallingFactorial(6, 3).Int64() != 120 {
+		t.Errorf("6·5·4 = %v", FallingFactorial(6, 3))
+	}
+	if FallingFactorial(5, 0).Int64() != 1 {
+		t.Error("empty product != 1")
+	}
+	if FallingFactorial(3, 5).Sign() != 0 {
+		t.Error("overlong falling factorial != 0")
+	}
+}
+
+func TestFallingEqualsBinomialTimesFactorial(t *testing.T) {
+	f := func(nSeed, kSeed uint8) bool {
+		n := int64(nSeed%40) + 1
+		k := int64(kSeed) % (n + 1)
+		lhs := FallingFactorial(n, k)
+		rhs := new(big.Int).Mul(Binomial(n, k), Factorial(k))
+		return lhs.Cmp(rhs) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLog2Exact(t *testing.T) {
+	for _, tc := range []struct {
+		x    int64
+		want float64
+	}{{1, 0}, {2, 1}, {1024, 10}, {3, math.Log2(3)}} {
+		if got := Log2(big.NewInt(tc.x)); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("Log2(%d) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+	// A huge number: 2^1000.
+	huge := new(big.Int).Lsh(big.NewInt(1), 1000)
+	if got := Log2(huge); math.Abs(got-1000) > 1e-6 {
+		t.Errorf("Log2(2^1000) = %v", got)
+	}
+	if !math.IsInf(Log2(big.NewInt(0)), -1) {
+		t.Error("Log2(0) not -Inf")
+	}
+}
+
+func TestWakeupInstancesSmall(t *testing.T) {
+	// n = 4: C(4,2) = 6 edges, ordered 4-tuples: 6·5·4·3 = 360.
+	if got := WakeupInstances(4); got.Int64() != 360 {
+		t.Errorf("P(4) = %v, want 360", got)
+	}
+	// Equation 2's lower bound P >= n!·(n/2)^n.
+	for _, n := range []int64{6, 10, 16, 24} {
+		p := WakeupInstances(n)
+		bound := new(big.Int).Exp(big.NewInt(n/2), big.NewInt(n), nil)
+		bound.Mul(bound, Factorial(n))
+		if p.Cmp(bound) < 0 {
+			t.Errorf("n=%d: P < n!·(n/2)^n", n)
+		}
+	}
+}
+
+func TestOracleOutputsSmall(t *testing.T) {
+	// q = 0: only the all-empty assignment. Q = 1.
+	if got := OracleOutputs(0, 4); got.Int64() != 1 {
+		t.Errorf("Q(0,4) = %v", got)
+	}
+	// q = 1, nodes = 2: q'=0 gives 1; q'=1 gives 2·C(2,1) = 4. Total 5.
+	if got := OracleOutputs(1, 2); got.Int64() != 5 {
+		t.Errorf("Q(1,2) = %v, want 5", got)
+	}
+	// Exhaustive check against the definition for a small grid.
+	for q := int64(0); q <= 6; q++ {
+		for nodes := int64(1); nodes <= 5; nodes++ {
+			want := new(big.Int)
+			for qp := int64(0); qp <= q; qp++ {
+				term := new(big.Int).Lsh(big.NewInt(1), uint(qp))
+				term.Mul(term, Binomial(qp+nodes-1, nodes-1))
+				want.Add(want, term)
+			}
+			if got := OracleOutputs(q, nodes); got.Cmp(want) != 0 {
+				t.Errorf("Q(%d,%d) = %v, want %v", q, nodes, got, want)
+			}
+		}
+	}
+}
+
+func TestOracleOutputsUpperDominates(t *testing.T) {
+	for q := int64(0); q <= 40; q += 5 {
+		for nodes := int64(2); nodes <= 32; nodes *= 2 {
+			if OracleOutputs(q, nodes).Cmp(OracleOutputsUpper(q, nodes)) > 0 {
+				t.Errorf("Q(%d,%d) exceeds its closed-form upper bound", q, nodes)
+			}
+		}
+	}
+}
+
+func TestClaim21(t *testing.T) {
+	// The paper's Claim 2.1 holds for all a > A, b > B for some constants;
+	// verify it across a concrete grid well above the thresholds.
+	for a := int64(4); a <= 64; a *= 2 {
+		for b := int64(4); b <= 64; b *= 2 {
+			if !Claim21Holds(a, b) {
+				t.Errorf("Claim 2.1 fails at a=%d b=%d", a, b)
+			}
+		}
+	}
+}
+
+func TestStirlingSandwich(t *testing.T) {
+	for _, n := range []int64{8, 32, 128, 1024} {
+		if !StirlingSandwiched(n) {
+			t.Errorf("Stirling sandwich fails at n=%d", n)
+		}
+	}
+}
+
+func TestWakeupForcedPositiveAndGrowing(t *testing.T) {
+	// Theorem 2.2 is asymptotic: the forced message count is negative at
+	// small n (the exact counting confirms it) and becomes Ω(n log n) once
+	// n passes the crossover around 2^14 (for α = 1/4).
+	small := WakeupForced(256, 0.25)
+	if small.ForcedMsgs >= 0 {
+		t.Errorf("n=256: exact forced = %v; expected negative below the asymptotic crossover", small.ForcedMsgs)
+	}
+	prevRatio := 0.0
+	for _, e := range []uint{16, 20, 24, 30} {
+		n := int64(1) << e
+		b := WakeupForcedAnalytic(n, 0.25)
+		if b.ForcedMsgs <= 0 {
+			t.Errorf("n=2^%d: forced = %v, want > 0 past crossover", e, b.ForcedMsgs)
+			continue
+		}
+		// Superlinear: the ratio to n must grow with n, and the ratio to
+		// n·log2(n) must be increasing toward a positive constant.
+		ratio := b.ForcedMsgs / (float64(n) * float64(e))
+		if ratio <= prevRatio {
+			t.Errorf("n=2^%d: forced/(n log n) = %v not increasing (prev %v)", e, ratio, prevRatio)
+		}
+		prevRatio = ratio
+		if n >= 1<<20 && b.ForcedMsgs < float64(n) {
+			t.Errorf("n=2^%d: forced %v below linear", e, b.ForcedMsgs)
+		}
+		// The bound never exceeds the paper's closed form in this range.
+		if b.ForcedMsgs > b.ClosedForm {
+			t.Errorf("n=2^%d: forced %v above the closed form %v", e, b.ForcedMsgs, b.ClosedForm)
+		}
+	}
+}
+
+func TestWakeupForcedShrinksWithAlpha(t *testing.T) {
+	// More oracle bits mean a weaker forced bound.
+	n := int64(256)
+	prev := math.Inf(1)
+	for _, alpha := range []float64{0.1, 0.2, 0.3, 0.4} {
+		b := WakeupForced(n, alpha)
+		if b.ForcedMsgs >= prev {
+			t.Errorf("alpha=%v: forced %v not decreasing (prev %v)", alpha, b.ForcedMsgs, prev)
+		}
+		prev = b.ForcedMsgs
+	}
+}
+
+func TestAnalyticMatchesExactWakeup(t *testing.T) {
+	for _, n := range []int64{32, 64, 128, 256} {
+		for _, alpha := range []float64{0.1, 0.25, 0.4} {
+			exact := WakeupForced(n, alpha)
+			approx := WakeupForcedAnalytic(n, alpha)
+			if math.Abs(exact.Log2P-approx.Log2P) > 0.01 {
+				t.Errorf("n=%d α=%v: log2P exact %v vs analytic %v", n, alpha, exact.Log2P, approx.Log2P)
+			}
+			if math.Abs(exact.Log2Q-approx.Log2Q) > 0.01 {
+				t.Errorf("n=%d α=%v: log2Q exact %v vs analytic %v", n, alpha, exact.Log2Q, approx.Log2Q)
+			}
+			if math.Abs(exact.ForcedMsgs-approx.ForcedMsgs) > 0.1 {
+				t.Errorf("n=%d α=%v: forced exact %v vs analytic %v", n, alpha, exact.ForcedMsgs, approx.ForcedMsgs)
+			}
+		}
+	}
+}
+
+func TestLog2HelpersMatchExact(t *testing.T) {
+	for _, n := range []int64{1, 2, 5, 20, 100} {
+		if got, want := Log2Factorial(n), Log2(Factorial(n)); math.Abs(got-want) > 1e-6 {
+			t.Errorf("Log2Factorial(%d) = %v, want %v", n, got, want)
+		}
+	}
+	for _, tc := range []struct{ n, k int64 }{{10, 3}, {50, 25}, {100, 1}} {
+		got := Log2Binomial(tc.n, tc.k)
+		want := Log2(Binomial(tc.n, tc.k))
+		if math.Abs(got-want) > 1e-6 {
+			t.Errorf("Log2Binomial(%d,%d) = %v, want %v", tc.n, tc.k, got, want)
+		}
+	}
+	for _, q := range []int64{5, 50, 200} {
+		for _, nodes := range []int64{4, 16, 64} {
+			got := Log2OracleOutputs(q, nodes)
+			want := Log2(OracleOutputs(q, nodes))
+			if math.Abs(got-want) > 0.01 {
+				t.Errorf("Log2OracleOutputs(%d,%d) = %v, want %v", q, nodes, got, want)
+			}
+		}
+	}
+}
+
+func TestBroadcastForced(t *testing.T) {
+	// Claim 3.3's contradiction: with q = n/2k bits, the forced message
+	// count must exceed the threshold n(k-1)/8 for large enough n with
+	// k <= sqrt(log n). At n=1024 the exact count is still below the
+	// (asymptotic) threshold; by n=2^16 it has crossed.
+	small, err := BroadcastForced(1024, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.ForcedMsgs <= 0 {
+		t.Errorf("n=1024 k=4: forced %v, want positive", small.ForcedMsgs)
+	}
+	if small.ForcedMsgs > small.Threshold {
+		t.Errorf("n=1024 k=4: forced %v already above threshold %v; crossover moved", small.ForcedMsgs, small.Threshold)
+	}
+	for _, e := range []uint{16, 20, 24} {
+		n := int64(1) << e
+		b, err := BroadcastForcedAnalytic(n, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.ForcedMsgs <= b.Threshold {
+			t.Errorf("n=2^%d k=4: forced %v <= threshold %v", e, b.ForcedMsgs, b.Threshold)
+		}
+	}
+	if _, err := BroadcastForced(10, 4); err == nil {
+		t.Error("4k∤n accepted")
+	}
+	if _, err := BroadcastForced(16, 2); err == nil {
+		t.Error("k=2 accepted")
+	}
+}
+
+func TestBroadcastAnalyticMatchesExact(t *testing.T) {
+	for _, tc := range []struct{ n, k int64 }{{48, 4}, {96, 4}, {240, 5}} {
+		exact, err := BroadcastForced(tc.n, tc.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx, err := BroadcastForcedAnalytic(tc.n, tc.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(exact.ForcedMsgs-approx.ForcedMsgs) > 0.1 {
+			t.Errorf("n=%d k=%d: exact %v vs analytic %v", tc.n, tc.k, exact.ForcedMsgs, approx.ForcedMsgs)
+		}
+	}
+}
+
+func TestBroadcastForcedGrowsLinearly(t *testing.T) {
+	// The forced bound at q = n/2k is ~ (n/4k)·log n: superlinear in n for
+	// fixed k. Check growth along a sweep past the crossover.
+	var prev float64
+	for _, n := range []int64{1 << 14, 1 << 16, 1 << 18, 1 << 20} {
+		b, err := BroadcastForcedAnalytic(n, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.ForcedMsgs <= prev {
+			t.Errorf("n=%d: forced %v not growing", n, b.ForcedMsgs)
+		}
+		prev = b.ForcedMsgs
+	}
+}
+
+func BenchmarkWakeupForcedExact(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		WakeupForced(128, 0.25)
+	}
+}
+
+func BenchmarkWakeupForcedAnalytic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		WakeupForcedAnalytic(1<<20, 0.25)
+	}
+}
+
+func TestOracleOutputsMatchesEnumeration(t *testing.T) {
+	// Q counts distinct advice assignments: ordered tuples of `nodes`
+	// binary strings with total length at most q. Enumerate them for
+	// tiny parameters and compare with the formula.
+	countAssignments := func(q, nodes int) int64 {
+		// Count tuples recursively: choose a length and content for the
+		// first string, recurse on the rest.
+		var rec func(remaining, nodesLeft int) int64
+		rec = func(remaining, nodesLeft int) int64 {
+			if nodesLeft == 0 {
+				return 1
+			}
+			var total int64
+			for l := 0; l <= remaining; l++ {
+				// 2^l contents for a string of length l.
+				total += (int64(1) << uint(l)) * rec(remaining-l, nodesLeft-1)
+			}
+			return total
+		}
+		return rec(q, nodes)
+	}
+	for q := 0; q <= 6; q++ {
+		for nodes := 1; nodes <= 4; nodes++ {
+			want := countAssignments(q, nodes)
+			got := OracleOutputs(int64(q), int64(nodes))
+			if got.Int64() != want {
+				t.Errorf("Q(%d,%d) = %v, enumeration says %d", q, nodes, got, want)
+			}
+		}
+	}
+}
+
+func TestEquation1Inequality(t *testing.T) {
+	// The paper's Equation 1: (a/b)^b <= C(a,b) for 1 <= b <= a.
+	for a := int64(1); a <= 40; a++ {
+		for b := int64(1); b <= a; b++ {
+			lhs := math.Pow(float64(a)/float64(b), float64(b))
+			rhs := Log2(Binomial(a, b))
+			if math.Log2(lhs) > rhs+1e-9 {
+				t.Errorf("Eq.1 fails at a=%d b=%d: (a/b)^b = %v > C(a,b)", a, b, lhs)
+			}
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package counting
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file generalizes the Theorem 2.2 counting to the remark that follows
+// it: hiding c·n subdivision nodes (instead of n) pushes the oracle-size
+// threshold coefficient from 1/2 up to c/(c+1). The instance family is the
+// set of ordered (c·n)-tuples of distinct K*_n edges; the graphs have
+// N = (1+c)·n nodes; the oracle budget is α·N·log2(N) bits; Lemma 2.1
+// forces log2(P/Q) - log2((cn)!) messages.
+
+// SubdivisionBound is one evaluation of the c-fold machinery.
+type SubdivisionBound struct {
+	N          int64   // base complete-graph size
+	C          int64   // subdivision multiplicity
+	Nodes      int64   // (1+c)·n
+	Alpha      float64 // oracle budget coefficient
+	QBits      int64
+	ForcedMsgs float64
+	// Threshold is the asymptotic coefficient c/(c+1) the remark proves.
+	Threshold float64
+}
+
+// SubdivisionForcedAnalytic evaluates the c-fold bound with log-gamma
+// arithmetic. It requires c·n <= C(n,2), i.e. c <= (n-1)/2.
+func SubdivisionForcedAnalytic(n, c int64, alpha float64) (SubdivisionBound, error) {
+	if c < 1 || n < 3 {
+		return SubdivisionBound{}, fmt.Errorf("counting: need c >= 1 and n >= 3, got c=%d n=%d", c, n)
+	}
+	hidden := c * n
+	nf := float64(n)
+	edges := nf * (nf - 1) / 2
+	if float64(hidden) > edges {
+		return SubdivisionBound{}, fmt.Errorf("counting: cannot hide %d edges among %.0f", hidden, edges)
+	}
+	nodes := (1 + c) * n
+	qf := alpha * float64(nodes) * math.Log2(float64(nodes))
+	if qf > float64(1)*(1<<62) {
+		return SubdivisionBound{}, fmt.Errorf("counting: oracle budget %.3g bits overflows int64", qf)
+	}
+	q := int64(qf)
+	log2P := log2FallingF(edges, float64(hidden))
+	log2Q := Log2OracleOutputs(q, nodes)
+	return SubdivisionBound{
+		N:          n,
+		C:          c,
+		Nodes:      nodes,
+		Alpha:      alpha,
+		QBits:      q,
+		ForcedMsgs: log2P - log2Q - log2FactorialF(float64(hidden)),
+		Threshold:  float64(c) / float64(c+1),
+	}, nil
+}
+
+// CriticalAlpha bisects the largest oracle-budget coefficient at which the
+// c-fold lower bound still forces a positive message count at this n. As n
+// grows it climbs toward the remark's asymptotic threshold c/(c+1).
+func CriticalAlpha(n, c int64) (float64, error) {
+	lo, hi := 0.0, 1.0
+	for i := 0; i < 50; i++ {
+		mid := (lo + hi) / 2
+		b, err := SubdivisionForcedAnalytic(n, c, mid)
+		if err != nil {
+			return 0, err
+		}
+		if b.ForcedMsgs > 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}

@@ -1,0 +1,103 @@
+package counting
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSubdivisionMatchesWakeupAtC1(t *testing.T) {
+	// With c = 1 the machinery specializes to Theorem 2.2's.
+	for _, n := range []int64{1 << 16, 1 << 20} {
+		for _, alpha := range []float64{0.125, 0.25} {
+			sub, err := SubdivisionForcedAnalytic(n, 1, alpha)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wk := WakeupForcedAnalytic(n, alpha)
+			rel := math.Abs(sub.ForcedMsgs-wk.ForcedMsgs) / math.Max(math.Abs(wk.ForcedMsgs), 1)
+			if rel > 1e-6 {
+				t.Errorf("n=%d α=%v: subdivision %v vs wakeup %v", n, alpha, sub.ForcedMsgs, wk.ForcedMsgs)
+			}
+		}
+	}
+}
+
+func TestSubdivisionRejectsBadParams(t *testing.T) {
+	if _, err := SubdivisionForcedAnalytic(8, 0, 0.1); err == nil {
+		t.Error("c=0 accepted")
+	}
+	if _, err := SubdivisionForcedAnalytic(5, 3, 0.1); err == nil {
+		t.Error("c·n > C(n,2) accepted")
+	}
+	if _, err := SubdivisionForcedAnalytic(1<<60, 4, 0.9); err == nil {
+		t.Error("overflowing budget accepted")
+	}
+}
+
+func TestCriticalAlphaRisesWithC(t *testing.T) {
+	// The remark after Theorem 2.2: more subdivided edges push the oracle
+	// threshold up. At fixed n the empirical critical coefficient must be
+	// strictly increasing in c and below the asymptotic c/(c+1).
+	n := int64(1 << 30)
+	prev := 0.0
+	for c := int64(1); c <= 4; c++ {
+		alpha, err := CriticalAlpha(n, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if alpha <= prev {
+			t.Errorf("c=%d: critical α %v not above c=%d's %v", c, alpha, c-1, prev)
+		}
+		prev = alpha
+	}
+}
+
+func TestCriticalAlphaApproachesThreshold(t *testing.T) {
+	// For fixed c, the critical α climbs toward c/(c+1) as n grows.
+	for _, c := range []int64{1, 2} {
+		var prev float64
+		for _, e := range []uint{20, 30, 40, 50} {
+			alpha, err := CriticalAlpha(int64(1)<<e, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if alpha <= prev {
+				t.Errorf("c=%d n=2^%d: critical α %v not increasing (prev %v)", c, e, alpha, prev)
+			}
+			if alpha >= float64(c)/float64(c+1) {
+				t.Errorf("c=%d n=2^%d: critical α %v at or above the asymptotic threshold", c, e, alpha)
+			}
+			prev = alpha
+		}
+	}
+}
+
+func TestLog2FallingStableAgainstExact(t *testing.T) {
+	// The Stirling path must agree with exact big-int values where both
+	// are computable.
+	for _, tc := range []struct{ n, k int64 }{
+		{200000000, 5}, {200000000, 1000}, {1 << 31, 1 << 10}, {1 << 31, 1 << 16},
+	} {
+		got := Log2FallingFactorial(tc.n, tc.k)
+		want := Log2(FallingFactorial(tc.n, tc.k))
+		if math.Abs(got-want) > 1e-6*math.Abs(want) {
+			t.Errorf("falling(%d,%d): stable %v vs exact %v", tc.n, tc.k, got, want)
+		}
+	}
+}
+
+func TestLog2FallingEdgeCases(t *testing.T) {
+	if got := Log2FallingFactorial(1<<40, 0); got != 0 {
+		t.Errorf("k=0: %v", got)
+	}
+	if !math.IsInf(Log2FallingFactorial(5, 9), -1) {
+		t.Error("k>n not -Inf")
+	}
+	// k == n on the Stirling path equals log2(n!).
+	n := int64(3e8)
+	got := Log2FallingFactorial(n, n)
+	want := Log2Factorial(n)
+	if math.Abs(got-want) > 1e-6*want {
+		t.Errorf("k=n: %v vs %v", got, want)
+	}
+}

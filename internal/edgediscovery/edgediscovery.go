@@ -1,0 +1,393 @@
+// Package edgediscovery implements the auxiliary problem behind both of the
+// paper's lower bounds (Lemma 2.1).
+//
+// An instance (n, X, Y) hides a tuple X of labeled "special" edges of the
+// complete graph K*_n; Y is a set of edges promised not to be special. A
+// communication scheme knows n, |X| and Y and probes edges one at a time;
+// probing edge e reveals whether e is special, and its label if so. The
+// scheme is done when it has located every special edge together with its
+// label.
+//
+// Lemma 2.1: against the adversary implemented here, any scheme restricted
+// to an instance family I (same n, |X|, Y) needs at least log2(|I| / |X|!)
+// probes in the worst case. The adversary maintains the set of still-active
+// instances, answers each probe so as to keep at least half of them
+// (choosing the majority side), and when forced to reveal a label picks the
+// most popular one, keeping at least a 1/(2(|X|-r)) fraction.
+package edgediscovery
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"oraclesize/internal/graphgen"
+)
+
+// Instance is one edge-discovery instance over K*_n: X lists the special
+// edges in label order (X[i] has label i+1), and Y lists edges promised
+// non-special.
+type Instance struct {
+	N int
+	X []graphgen.LabelEdge
+	Y []graphgen.LabelEdge
+}
+
+// Validate checks structural sanity: X edges distinct and within K*_n, and
+// disjoint from Y.
+func (in Instance) Validate() error {
+	seen := make(map[graphgen.LabelEdge]bool, len(in.X)+len(in.Y))
+	for i, e := range in.X {
+		e = e.Canon()
+		if e.U < 1 || e.V > in.N || e.U == e.V {
+			return fmt.Errorf("edgediscovery: X[%d] = %v not an edge of K_%d", i, e, in.N)
+		}
+		if seen[e] {
+			return fmt.Errorf("edgediscovery: duplicate special edge %v", e)
+		}
+		seen[e] = true
+	}
+	for i, e := range in.Y {
+		e = e.Canon()
+		if seen[e] {
+			return fmt.Errorf("edgediscovery: Y[%d] = %v intersects X", i, e)
+		}
+		seen[e] = true
+	}
+	return nil
+}
+
+// specialLabel returns the 1-based label of e in X, or 0.
+func (in Instance) specialLabel(e graphgen.LabelEdge) int {
+	e = e.Canon()
+	for i, x := range in.X {
+		if x.Canon() == e {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// Probe is the outcome of testing one edge.
+type Probe struct {
+	Edge    graphgen.LabelEdge
+	Special bool
+	// Label is the special edge's label (1-based); 0 when not special.
+	Label int
+}
+
+// History is everything a scheme knows: the public inputs plus the probes
+// made so far.
+type History struct {
+	N      int
+	XSize  int
+	Y      []graphgen.LabelEdge
+	Probes []Probe
+}
+
+// Found reports how many special edges have been revealed.
+func (h *History) Found() int {
+	count := 0
+	for _, p := range h.Probes {
+		if p.Special {
+			count++
+		}
+	}
+	return count
+}
+
+// Probed reports whether e has already been probed.
+func (h *History) Probed(e graphgen.LabelEdge) bool {
+	e = e.Canon()
+	for _, p := range h.Probes {
+		if p.Edge.Canon() == e {
+			return true
+		}
+	}
+	return false
+}
+
+// Scheme is a deterministic edge-discovery strategy: given the history it
+// names the next edge to probe. Returning ok=false abandons the game (a
+// scheme must never abandon before finding all |X| specials, or it loses).
+type Scheme interface {
+	Name() string
+	Next(h *History) (graphgen.LabelEdge, bool)
+}
+
+// Play runs a scheme against a fixed instance and returns the number of
+// probes used to find all specials.
+func Play(in Instance, s Scheme, maxProbes int) (int, error) {
+	if err := in.Validate(); err != nil {
+		return 0, err
+	}
+	h := &History{N: in.N, XSize: len(in.X), Y: append([]graphgen.LabelEdge(nil), in.Y...)}
+	for h.Found() < len(in.X) {
+		if len(h.Probes) >= maxProbes {
+			return len(h.Probes), fmt.Errorf("edgediscovery: scheme %q exceeded %d probes", s.Name(), maxProbes)
+		}
+		e, ok := s.Next(h)
+		if !ok {
+			return len(h.Probes), fmt.Errorf("edgediscovery: scheme %q abandoned after %d probes", s.Name(), len(h.Probes))
+		}
+		label := in.specialLabel(e)
+		h.Probes = append(h.Probes, Probe{Edge: e.Canon(), Special: label > 0, Label: label})
+	}
+	return len(h.Probes), nil
+}
+
+// Family enumerates all instances with the given n, |X| = k and Y: every
+// ordered tuple of k distinct non-Y edges. Its size is the falling
+// factorial (E-|Y|)·(E-|Y|-1)···(E-|Y|-k+1) with E = C(n,2).
+func Family(n, k int, y []graphgen.LabelEdge) ([]Instance, error) {
+	banned := make(map[graphgen.LabelEdge]bool, len(y))
+	for _, e := range y {
+		banned[e.Canon()] = true
+	}
+	var pool []graphgen.LabelEdge
+	for _, e := range graphgen.AllCompleteEdges(n) {
+		if !banned[e] {
+			pool = append(pool, e)
+		}
+	}
+	if k > len(pool) {
+		return nil, fmt.Errorf("edgediscovery: cannot hide %d edges among %d candidates", k, len(pool))
+	}
+	var out []Instance
+	tuple := make([]graphgen.LabelEdge, 0, k)
+	used := make([]bool, len(pool))
+	var rec func()
+	rec = func() {
+		if len(tuple) == k {
+			out = append(out, Instance{
+				N: n,
+				X: append([]graphgen.LabelEdge(nil), tuple...),
+				Y: append([]graphgen.LabelEdge(nil), y...),
+			})
+			return
+		}
+		for i, e := range pool {
+			if used[i] {
+				continue
+			}
+			used[i] = true
+			tuple = append(tuple, e)
+			rec()
+			tuple = tuple[:len(tuple)-1]
+			used[i] = false
+		}
+	}
+	rec()
+	return out, nil
+}
+
+// LowerBound is Lemma 2.1's bound: log2(|I| / |X|!) probes.
+func LowerBound(familySize, xSize int) float64 {
+	logFact := 0.0
+	for i := 2; i <= xSize; i++ {
+		logFact += math.Log2(float64(i))
+	}
+	return math.Log2(float64(familySize)) - logFact
+}
+
+// Adversary plays the Lemma 2.1 strategy over an explicit instance family.
+type Adversary struct {
+	active []Instance
+	xSize  int
+}
+
+// NewAdversary starts an adversary over the family. All instances must
+// share n, |X| and Y; the first instance is taken as the reference.
+func NewAdversary(family []Instance) (*Adversary, error) {
+	if len(family) == 0 {
+		return nil, errors.New("edgediscovery: empty family")
+	}
+	ref := family[0]
+	for i, in := range family {
+		if in.N != ref.N || len(in.X) != len(ref.X) || len(in.Y) != len(ref.Y) {
+			return nil, fmt.Errorf("edgediscovery: instance %d has different public inputs", i)
+		}
+	}
+	return &Adversary{active: append([]Instance(nil), family...), xSize: len(ref.X)}, nil
+}
+
+// ActiveCount reports the number of still-active instances.
+func (a *Adversary) ActiveCount() int { return len(a.active) }
+
+// Answer processes a probe of e: it partitions the active set, commits to
+// the majority side, picks the most popular label when the edge becomes
+// special, and returns the revealed outcome.
+func (a *Adversary) Answer(e graphgen.LabelEdge) Probe {
+	e = e.Canon()
+	var special, regular []Instance
+	for _, in := range a.active {
+		if in.specialLabel(e) > 0 {
+			special = append(special, in)
+		} else {
+			regular = append(regular, in)
+		}
+	}
+	if len(special) < len(regular) {
+		a.active = regular
+		return Probe{Edge: e, Special: false}
+	}
+	// Reveal the most popular label l0 (paper: |J^(l0)| >= |J|/(2(|X|-r))).
+	byLabel := make(map[int][]Instance)
+	for _, in := range special {
+		byLabel[in.specialLabel(e)] = append(byLabel[in.specialLabel(e)], in)
+	}
+	labels := make([]int, 0, len(byLabel))
+	for l := range byLabel {
+		labels = append(labels, l)
+	}
+	sort.Ints(labels) // deterministic tie-break: smallest popular label
+	best := labels[0]
+	for _, l := range labels {
+		if len(byLabel[l]) > len(byLabel[best]) {
+			best = l
+		}
+	}
+	a.active = byLabel[best]
+	return Probe{Edge: e, Special: true, Label: best}
+}
+
+// PlayAdversary runs a scheme against the adversary until the scheme has
+// revealed all specials (at which point all active instances agree on X) or
+// gives up. It returns the number of probes.
+func PlayAdversary(family []Instance, s Scheme, maxProbes int) (int, error) {
+	adv, err := NewAdversary(family)
+	if err != nil {
+		return 0, err
+	}
+	ref := family[0]
+	h := &History{N: ref.N, XSize: len(ref.X), Y: append([]graphgen.LabelEdge(nil), ref.Y...)}
+	for h.Found() < len(ref.X) {
+		if len(h.Probes) >= maxProbes {
+			return len(h.Probes), fmt.Errorf("edgediscovery: scheme %q exceeded %d probes against adversary", s.Name(), maxProbes)
+		}
+		e, ok := s.Next(h)
+		if !ok {
+			return len(h.Probes), fmt.Errorf("edgediscovery: scheme %q abandoned against adversary", s.Name())
+		}
+		h.Probes = append(h.Probes, adv.Answer(e))
+	}
+	return len(h.Probes), nil
+}
+
+// SweepScheme probes the unprobed edges of K*_n in lexicographic order.
+type SweepScheme struct{}
+
+// Name implements Scheme.
+func (SweepScheme) Name() string { return "sweep" }
+
+// Next implements Scheme.
+func (SweepScheme) Next(h *History) (graphgen.LabelEdge, bool) {
+	banned := probedOrKnown(h)
+	for _, e := range graphgen.AllCompleteEdges(h.N) {
+		if !banned[e] {
+			return e, true
+		}
+	}
+	return graphgen.LabelEdge{}, false
+}
+
+// RandomScheme probes unprobed edges in a seeded random order, fixed per
+// game.
+type RandomScheme struct {
+	Seed int64
+
+	order []graphgen.LabelEdge
+}
+
+// Name implements Scheme.
+func (s *RandomScheme) Name() string { return "random" }
+
+// Next implements Scheme.
+func (s *RandomScheme) Next(h *History) (graphgen.LabelEdge, bool) {
+	if s.order == nil {
+		s.order = graphgen.AllCompleteEdges(h.N)
+		rng := rand.New(rand.NewSource(s.Seed))
+		rng.Shuffle(len(s.order), func(i, j int) { s.order[i], s.order[j] = s.order[j], s.order[i] })
+	}
+	banned := probedOrKnown(h)
+	for _, e := range s.order {
+		if !banned[e] {
+			return e, true
+		}
+	}
+	return graphgen.LabelEdge{}, false
+}
+
+// probedOrKnown marks edges that are pointless to probe: already probed or
+// promised non-special.
+func probedOrKnown(h *History) map[graphgen.LabelEdge]bool {
+	banned := make(map[graphgen.LabelEdge]bool, len(h.Probes)+len(h.Y))
+	for _, p := range h.Probes {
+		banned[p.Edge.Canon()] = true
+	}
+	for _, e := range h.Y {
+		banned[e.Canon()] = true
+	}
+	return banned
+}
+
+// GreedySplitScheme simulates the (deterministic) adversary against itself:
+// it tracks the instances consistent with the history and probes the edge
+// whose answer splits them most evenly — an information-theoretically
+// greedy strategy that comes close to the Lemma 2.1 bound.
+type GreedySplitScheme struct {
+	Family []Instance
+
+	consistent []Instance
+}
+
+// Name implements Scheme.
+func (s *GreedySplitScheme) Name() string { return "greedy-split" }
+
+// Next implements Scheme.
+func (s *GreedySplitScheme) Next(h *History) (graphgen.LabelEdge, bool) {
+	if s.consistent == nil {
+		s.consistent = append([]Instance(nil), s.Family...)
+	}
+	// Refilter against the last probe (incremental).
+	if len(h.Probes) > 0 {
+		last := h.Probes[len(h.Probes)-1]
+		var keep []Instance
+		for _, in := range s.consistent {
+			if in.specialLabel(last.Edge) == last.Label {
+				keep = append(keep, in)
+			}
+		}
+		s.consistent = keep
+	}
+	if len(s.consistent) == 0 {
+		return graphgen.LabelEdge{}, false
+	}
+	banned := probedOrKnown(h)
+	var best graphgen.LabelEdge
+	bestWorst := -1
+	for _, e := range graphgen.AllCompleteEdges(h.N) {
+		if banned[e] {
+			continue
+		}
+		specials := 0
+		for _, in := range s.consistent {
+			if in.specialLabel(e) > 0 {
+				specials++
+			}
+		}
+		worst := specials
+		if len(s.consistent)-specials > worst {
+			worst = len(s.consistent) - specials
+		}
+		if bestWorst < 0 || worst < bestWorst {
+			best, bestWorst = e, worst
+		}
+	}
+	if bestWorst < 0 {
+		return graphgen.LabelEdge{}, false
+	}
+	return best, true
+}

@@ -1,0 +1,180 @@
+// Package experiments implements the per-experiment runners E1–E8 indexed
+// in DESIGN.md: each runner regenerates one of the paper's results (a
+// theorem, claim, or the headline separation) as a table of measurements.
+// The cmd/benchtables binary prints all of them; the root bench_test.go
+// exposes one benchmark per experiment; EXPERIMENTS.md records the output.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Config tunes experiment scale. The zero value selects full-size sweeps;
+// Quick shrinks them for use inside unit tests and benchmarks.
+type Config struct {
+	// Seed drives all randomness; runs are reproducible per seed.
+	Seed int64
+	// Quick selects reduced sweeps (smaller n, fewer trials).
+	Quick bool
+}
+
+func (c Config) rng(salt int64) *rand.Rand {
+	return rand.New(rand.NewSource(c.Seed*1000003 + salt))
+}
+
+// sizes returns the experiment's n sweep.
+func (c Config) sizes(full, quick []int) []int {
+	if c.Quick {
+		return quick
+	}
+	return full
+}
+
+// Table is one experiment's result: a titled grid of rows plus free-form
+// notes (e.g. the paper's predicted shape).
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row; values are rendered with %v.
+func (t *Table) AddRow(values ...interface{}) {
+	row := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			row[i] = formatFloat(x)
+		default:
+			row[i] = fmt.Sprintf("%v", x)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func formatFloat(x float64) string {
+	switch {
+	case x == 0:
+		return "0"
+	case x >= 1e6 || x <= -1e6:
+		return fmt.Sprintf("%.3e", x)
+	case x >= 100 || x <= -100:
+		return fmt.Sprintf("%.1f", x)
+	default:
+		return fmt.Sprintf("%.3f", x)
+	}
+}
+
+// Render lays the table out as aligned plain text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	rule := make([]string, len(t.Columns))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(rule)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// RenderMarkdown lays the table out as a GitHub-flavored markdown table.
+func (t *Table) RenderMarkdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", t.ID, t.Title)
+	b.WriteString("| " + strings.Join(t.Columns, " | ") + " |\n")
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	b.WriteString("| " + strings.Join(sep, " | ") + " |\n")
+	for _, row := range t.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "\n*%s*\n", n)
+	}
+	return b.String()
+}
+
+// Runner executes one experiment.
+type Runner struct {
+	ID  string
+	Run func(Config) (*Table, error)
+}
+
+// All lists every experiment in DESIGN.md order.
+func All() []Runner {
+	return []Runner{
+		{ID: "E1", Run: E1WakeupUpper},
+		{ID: "E2a", Run: E2aAdversaryGame},
+		{ID: "E2b", Run: E2bWakeupLower},
+		{ID: "E2c", Run: E2cWakeupReduction},
+		{ID: "E3", Run: E3BroadcastUpper},
+		{ID: "E4a", Run: E4aBudgetedBroadcast},
+		{ID: "E4b", Run: E4bBroadcastLower},
+		{ID: "E5", Run: E5Separation},
+		{ID: "E6", Run: E6Subdivision},
+		{ID: "E7", Run: E7Asynchrony},
+		{ID: "E8", Run: E8Baselines},
+		{ID: "E9", Run: E9Gossip},
+		{ID: "E10", Run: E10TreeAblation},
+		{ID: "E11", Run: E11CodecAblation},
+		{ID: "E12", Run: E12Exploration},
+		{ID: "E13", Run: E13Election},
+		{ID: "E14", Run: E14Spanner},
+		{ID: "E15", Run: E15Bandwidth},
+		{ID: "E16", Run: E16BFSTree},
+		{ID: "E17", Run: E17MST},
+		{ID: "E18", Run: E18Radio},
+		{ID: "E19", Run: E19BroadcastTreeTradeoff},
+		{ID: "E20", Run: E20Neighborhood},
+	}
+}
+
+// ByID returns the named runner.
+func ByID(id string) (Runner, error) {
+	for _, r := range All() {
+		if r.ID == id {
+			return r, nil
+		}
+	}
+	return Runner{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}
+
+func boolMark(ok bool) string {
+	if ok {
+		return "yes"
+	}
+	return "NO"
+}

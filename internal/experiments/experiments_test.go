@@ -1,0 +1,215 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func quickCfg() Config { return Config{Seed: 1, Quick: true} }
+
+func TestAllRunnersSucceedQuick(t *testing.T) {
+	for _, r := range All() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			t.Parallel()
+			table, err := r.Run(quickCfg())
+			if err != nil {
+				t.Fatalf("%s: %v", r.ID, err)
+			}
+			if len(table.Rows) == 0 {
+				t.Fatalf("%s: empty table", r.ID)
+			}
+			for i, row := range table.Rows {
+				if len(row) != len(table.Columns) {
+					t.Errorf("%s row %d: %d cells for %d columns", r.ID, i, len(row), len(table.Columns))
+				}
+			}
+			out := table.Render()
+			if !strings.Contains(out, table.ID) || !strings.Contains(out, table.Columns[0]) {
+				t.Errorf("%s: render missing header:\n%s", r.ID, out)
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	r, err := ByID("E5")
+	if err != nil || r.ID != "E5" {
+		t.Errorf("ByID(E5) = %v, %v", r.ID, err)
+	}
+	if _, err := ByID("E99"); err == nil {
+		t.Error("unknown ID accepted")
+	}
+}
+
+func TestTableRenderAlignment(t *testing.T) {
+	tb := &Table{
+		ID:      "T",
+		Title:   "test",
+		Columns: []string{"a", "long-column"},
+		Notes:   []string{"a note"},
+	}
+	tb.AddRow(1, "x")
+	tb.AddRow(100000, "yyyy")
+	out := tb.Render()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// title, header, rule, 2 rows, note
+	if len(lines) != 6 {
+		t.Fatalf("rendered %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[5], "note: ") {
+		t.Errorf("note line = %q", lines[5])
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	tests := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"},
+		{1.5, "1.500"},
+		{123.456, "123.5"},
+		{2.5e7, "2.500e+07"},
+	}
+	for _, tc := range tests {
+		if got := formatFloat(tc.in); got != tc.want {
+			t.Errorf("formatFloat(%v) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestE1MessagesExactlyNMinus1(t *testing.T) {
+	table, err := E1WakeupUpper(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	colMsgs := indexOf(t, table.Columns, "messages")
+	colWant := indexOf(t, table.Columns, "n-1")
+	colComplete := indexOf(t, table.Columns, "complete")
+	for i, row := range table.Rows {
+		if row[colMsgs] != row[colWant] {
+			t.Errorf("row %d: messages %s != n-1 %s", i, row[colMsgs], row[colWant])
+		}
+		if row[colComplete] != "yes" {
+			t.Errorf("row %d: incomplete", i)
+		}
+	}
+}
+
+func TestE3WithinBounds(t *testing.T) {
+	table, err := E3BroadcastUpper(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	colContrib := indexOf(t, table.Columns, "contrib")
+	col4n := indexOf(t, table.Columns, "4n")
+	colMsgs := indexOf(t, table.Columns, "messages")
+	colBound := indexOf(t, table.Columns, "3(n-1)")
+	for i, row := range table.Rows {
+		contrib := atoi(t, row[colContrib])
+		bound4n := atoi(t, row[col4n])
+		if contrib > bound4n {
+			t.Errorf("row %d: contribution %d > 4n %d", i, contrib, bound4n)
+		}
+		if atoi(t, row[colMsgs]) > atoi(t, row[colBound]) {
+			t.Errorf("row %d: messages exceed 3(n-1)", i)
+		}
+	}
+}
+
+func TestE5RatioGrows(t *testing.T) {
+	table, err := E5Separation(Config{Seed: 3, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	colRatio := indexOf(t, table.Columns, "ratio")
+	var prev float64
+	for i, row := range table.Rows {
+		ratio, err := strconv.ParseFloat(row[colRatio], 64)
+		if err != nil {
+			t.Fatalf("row %d ratio %q: %v", i, row[colRatio], err)
+		}
+		if ratio <= prev {
+			t.Errorf("row %d: separation ratio %v not increasing (prev %v)", i, ratio, prev)
+		}
+		prev = ratio
+	}
+}
+
+func TestE2aAllSchemesMeetBound(t *testing.T) {
+	table, err := E2aAdversaryGame(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := indexOf(t, table.Columns, "probes>=bound")
+	for i, row := range table.Rows {
+		if row[col] != "yes" {
+			t.Errorf("row %d: Lemma 2.1 bound violated: %v", i, row)
+		}
+	}
+}
+
+func TestE4aMessagesShrinkWithBudget(t *testing.T) {
+	table, err := E4aBudgetedBroadcast(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	colFrac := indexOf(t, table.Columns, "budget-frac")
+	colMsgs := indexOf(t, table.Columns, "messages")
+	colComplete := indexOf(t, table.Columns, "complete")
+	var zeroMsgs, fullMsgs int
+	for _, row := range table.Rows {
+		if row[colComplete] != "yes" {
+			t.Errorf("incomplete run: %v", row)
+		}
+		switch row[colFrac] {
+		case "0":
+			zeroMsgs = atoi(t, row[colMsgs])
+		case "1":
+			fullMsgs = atoi(t, row[colMsgs])
+		}
+	}
+	if fullMsgs >= zeroMsgs {
+		t.Errorf("full budget (%d msgs) not cheaper than zero budget (%d)", fullMsgs, zeroMsgs)
+	}
+}
+
+func TestE7AllComplete(t *testing.T) {
+	table, err := E7Asynchrony(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	colRuns := indexOf(t, table.Columns, "runs")
+	colDone := indexOf(t, table.Columns, "completions")
+	colWithin := indexOf(t, table.Columns, "within")
+	for i, row := range table.Rows {
+		if row[colRuns] != row[colDone] {
+			t.Errorf("row %d: %s/%s completions", i, row[colDone], row[colRuns])
+		}
+		if row[colWithin] != "yes" {
+			t.Errorf("row %d: message bound violated", i)
+		}
+	}
+}
+
+func indexOf(t *testing.T, cols []string, name string) int {
+	t.Helper()
+	for i, c := range cols {
+		if c == name {
+			return i
+		}
+	}
+	t.Fatalf("column %q not found in %v", name, cols)
+	return -1
+}
+
+func atoi(t *testing.T, s string) int {
+	t.Helper()
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		t.Fatalf("atoi(%q): %v", s, err)
+	}
+	return v
+}

@@ -1,0 +1,230 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestE9GossipExact(t *testing.T) {
+	table, err := E9Gossip(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	colMsgs := indexOf(t, table.Columns, "messages")
+	colWant := indexOf(t, table.Columns, "2(n-1)")
+	colOK := indexOf(t, table.Columns, "all-values")
+	for i, row := range table.Rows {
+		if row[colMsgs] != row[colWant] {
+			t.Errorf("row %d: %s messages != %s", i, row[colMsgs], row[colWant])
+		}
+		if row[colOK] != "yes" {
+			t.Errorf("row %d: incomplete value sets", i)
+		}
+	}
+}
+
+func TestE10BFSNeverSlowerThanDFS(t *testing.T) {
+	table, err := E10TreeAblation(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	colFam := indexOf(t, table.Columns, "family")
+	colN := indexOf(t, table.Columns, "n")
+	colTree := indexOf(t, table.Columns, "tree")
+	colRounds := indexOf(t, table.Columns, "rounds")
+	rounds := map[string]int{}
+	for _, row := range table.Rows {
+		rounds[row[colFam]+"/"+row[colN]+"/"+row[colTree]] = atoi(t, row[colRounds])
+	}
+	for key, bfsRounds := range rounds {
+		if len(key) > 4 && key[len(key)-3:] == "bfs" {
+			dfsKey := key[:len(key)-3] + "dfs"
+			if dfsRounds, ok := rounds[dfsKey]; ok && bfsRounds > dfsRounds {
+				t.Errorf("%s: BFS %d rounds > DFS %d", key, bfsRounds, dfsRounds)
+			}
+		}
+	}
+}
+
+func TestE12TreeAdviceExactMoves(t *testing.T) {
+	table, err := E12Exploration(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	colStrat := indexOf(t, table.Columns, "strategy")
+	colMoves := indexOf(t, table.Columns, "moves")
+	colWant := indexOf(t, table.Columns, "2(n-1)")
+	for i, row := range table.Rows {
+		if row[colStrat] == "tree-advice" && row[colMoves] != row[colWant] {
+			t.Errorf("row %d: tree advice used %s moves, want %s", i, row[colMoves], row[colWant])
+		}
+	}
+}
+
+func TestE13LadderMonotone(t *testing.T) {
+	table, err := E13Election(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	colFam := indexOf(t, table.Columns, "family")
+	colStrat := indexOf(t, table.Columns, "strategy")
+	colMsgs := indexOf(t, table.Columns, "messages")
+	colValid := indexOf(t, table.Columns, "valid")
+	msgs := map[string]int{}
+	for _, row := range table.Rows {
+		if row[colValid] != "yes" {
+			t.Errorf("invalid election: %v", row)
+		}
+		msgs[row[colFam]+"/"+row[colStrat]] = atoi(t, row[colMsgs])
+	}
+	for key, flood := range msgs {
+		if len(key) > 10 && key[len(key)-9:] == "max-flood" {
+			base := key[:len(key)-9]
+			if tree, ok := msgs[base+"marked-tree"]; ok && tree > flood {
+				t.Errorf("%s: tree (%d) costlier than flood (%d)", base, tree, flood)
+			}
+		}
+	}
+}
+
+func TestE16AsynchronyCostsAndOracleSilent(t *testing.T) {
+	table, err := E16BFSTree(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	colStrat := indexOf(t, table.Columns, "strategy")
+	colSched := indexOf(t, table.Columns, "schedule")
+	colMsgs := indexOf(t, table.Columns, "messages")
+	colValid := indexOf(t, table.Columns, "valid")
+	for i, row := range table.Rows {
+		if row[colValid] != "yes" {
+			t.Errorf("row %d: invalid output", i)
+		}
+		if row[colStrat] == "oracle" && row[colMsgs] != "0" {
+			t.Errorf("row %d: oracle strategy sent %s messages", i, row[colMsgs])
+		}
+		_ = colSched
+	}
+}
+
+func TestE17BothStrategiesMatchExact(t *testing.T) {
+	table, err := E17MST(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := indexOf(t, table.Columns, "matches-exact")
+	for i, row := range table.Rows {
+		if row[col] != "yes" {
+			t.Errorf("row %d: MST mismatch: %v", i, row)
+		}
+	}
+}
+
+func TestE18SchedulesCollisionFreeAndFaster(t *testing.T) {
+	table, err := E18Radio(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	colFam := indexOf(t, table.Columns, "family")
+	colStrat := indexOf(t, table.Columns, "strategy")
+	colRounds := indexOf(t, table.Columns, "rounds")
+	colColl := indexOf(t, table.Columns, "collisions")
+	rounds := map[string]int{}
+	for i, row := range table.Rows {
+		if row[colColl] != "0" {
+			t.Errorf("row %d: %s collisions", i, row[colColl])
+		}
+		rounds[row[colFam]+"/"+row[colStrat]] = atoi(t, row[colRounds])
+	}
+	for key, rr := range rounds {
+		const suffix = "/round-robin"
+		if len(key) > len(suffix) && key[len(key)-len(suffix):] == suffix {
+			base := key[:len(key)-len(suffix)]
+			if lay, ok := rounds[base+"/scheduled-layered"]; ok && lay > rr {
+				t.Errorf("%s: layered (%d) slower than round-robin (%d)", base, lay, rr)
+			}
+		}
+	}
+}
+
+func TestE15ConstantBitsPerMessage(t *testing.T) {
+	table, err := E15Bandwidth(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	colTask := indexOf(t, table.Columns, "task")
+	colPer := indexOf(t, table.Columns, "bits/msg")
+	for i, row := range table.Rows {
+		per, err := strconv.ParseFloat(row[colPer], 64)
+		if err != nil {
+			t.Fatalf("row %d: %v", i, err)
+		}
+		isBounded := row[colTask] == "wakeup (Thm 2.1)" || row[colTask] == "broadcast (Thm 3.1)"
+		if isBounded && per != 4 {
+			t.Errorf("row %d: %s at %v bits/msg, want 4", i, row[colTask], per)
+		}
+		if !isBounded && per <= 4 {
+			t.Errorf("row %d: gossip at %v bits/msg, expected unbounded growth", i, per)
+		}
+	}
+}
+
+func TestE19BFSNeverSlowerOrIncomplete(t *testing.T) {
+	table, err := E19BroadcastTreeTradeoff(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	colFam := indexOf(t, table.Columns, "family")
+	colTree := indexOf(t, table.Columns, "tree")
+	colRounds := indexOf(t, table.Columns, "rounds")
+	colComplete := indexOf(t, table.Columns, "complete")
+	rounds := map[string]int{}
+	for _, row := range table.Rows {
+		if row[colComplete] != "yes" {
+			t.Errorf("incomplete: %v", row)
+		}
+		rounds[row[colFam]+"/"+row[colTree]] = atoi(t, row[colRounds])
+	}
+	for key, light := range rounds {
+		const suffix = "/light"
+		if strings.HasSuffix(key, suffix) {
+			base := key[:len(key)-len(suffix)]
+			if bfs, ok := rounds[base+"/bfs"]; ok && bfs > light {
+				t.Errorf("%s: bfs rounds %d > light rounds %d", base, bfs, light)
+			}
+		}
+	}
+}
+
+func TestE20OracleDominatesBall(t *testing.T) {
+	table, err := E20Neighborhood(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	colFam := indexOf(t, table.Columns, "family")
+	colStrat := indexOf(t, table.Columns, "strategy")
+	colBits := indexOf(t, table.Columns, "advice-bits")
+	colMsgs := indexOf(t, table.Columns, "messages")
+	type cell struct{ bits, msgs int }
+	cells := map[string]cell{}
+	for _, row := range table.Rows {
+		cells[row[colFam]+"/"+row[colStrat]] = cell{atoi(t, row[colBits]), atoi(t, row[colMsgs])}
+	}
+	for key, ball := range cells {
+		const suffix = "/radius-1-ball"
+		if strings.HasSuffix(key, suffix) {
+			base := key[:len(key)-len(suffix)]
+			oracle, ok := cells[base+"/thm2.1-oracle"]
+			if !ok {
+				continue
+			}
+			if oracle.bits >= ball.bits {
+				t.Errorf("%s: oracle bits %d not below ball bits %d", base, oracle.bits, ball.bits)
+			}
+			if oracle.msgs > ball.msgs {
+				t.Errorf("%s: oracle msgs %d above ball msgs %d", base, oracle.msgs, ball.msgs)
+			}
+		}
+	}
+}

@@ -1,0 +1,218 @@
+package explore
+
+import (
+	"math/rand"
+	"testing"
+
+	"oraclesize/internal/graph"
+	"oraclesize/internal/graphgen"
+	"oraclesize/internal/sim"
+)
+
+func mustGraph(t *testing.T) func(*graph.Graph, error) *graph.Graph {
+	t.Helper()
+	return func(g *graph.Graph, err error) *graph.Graph {
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+}
+
+func testGraphs(t *testing.T) map[string]*graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(3))
+	return map[string]*graph.Graph{
+		"path":      mustGraph(t)(graphgen.Path(15)),
+		"cycle":     mustGraph(t)(graphgen.Cycle(12)),
+		"star":      mustGraph(t)(graphgen.Star(10)),
+		"grid":      mustGraph(t)(graphgen.Grid(4, 5)),
+		"hypercube": mustGraph(t)(graphgen.Hypercube(4)),
+		"complete":  mustGraph(t)(graphgen.Complete(9)),
+		"random":    mustGraph(t)(graphgen.RandomConnected(25, 60, rng)),
+		"wheel":     mustGraph(t)(graphgen.Wheel(11)),
+	}
+}
+
+func TestDFSExploresEverything(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		res, err := Run(g, 0, nil, NewDFS(), 0)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if !res.Complete {
+			t.Errorf("%s: visited %d of %d", name, res.Visited, g.N())
+		}
+		if !res.Home {
+			t.Errorf("%s: did not return home", name)
+		}
+		if res.Moves < 2*(g.N()-1) || res.Moves > 4*g.M() {
+			t.Errorf("%s: %d moves outside [2(n-1), 4m] = [%d, %d]",
+				name, res.Moves, 2*(g.N()-1), 4*g.M())
+		}
+	}
+}
+
+func TestTreeExploresWith2NMinus2Moves(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		advice, err := TreeOracle(g, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		res, err := Run(g, 0, advice, NewTree(), 0)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if !res.Complete {
+			t.Errorf("%s: visited %d of %d", name, res.Visited, g.N())
+		}
+		if !res.Home {
+			t.Errorf("%s: did not return home", name)
+		}
+		if want := 2 * (g.N() - 1); res.Moves != want {
+			t.Errorf("%s: %d moves, want exactly %d", name, res.Moves, want)
+		}
+	}
+}
+
+func TestTreeBeatsOrMatchesDFS(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 10; trial++ {
+		g, err := graphgen.RandomConnected(40, 160, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dfs, err := Run(g, 0, nil, NewDFS(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		advice, err := TreeOracle(g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tree, err := Run(g, 0, advice, NewTree(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tree.Moves > dfs.Moves {
+			t.Errorf("trial %d: tree %d moves > dfs %d", trial, tree.Moves, dfs.Moves)
+		}
+	}
+}
+
+func TestExploreFromEveryStart(t *testing.T) {
+	g := mustGraph(t)(graphgen.Grid(4, 4))
+	for start := graph.NodeID(0); int(start) < g.N(); start++ {
+		advice, err := TreeOracle(g, start)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(g, start, advice, NewTree(), 0)
+		if err != nil {
+			t.Fatalf("start %d: %v", start, err)
+		}
+		if !res.Complete || !res.Home || res.Moves != 2*(g.N()-1) {
+			t.Errorf("start %d: %+v", start, res)
+		}
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	g := mustGraph(t)(graphgen.Path(3))
+	if _, err := Run(g, 9, nil, NewDFS(), 0); err == nil {
+		t.Error("bad start accepted")
+	}
+	// A strategy that picks an invalid port must be rejected.
+	bad := badStrategy{}
+	if _, err := Run(g, 0, nil, bad, 0); err == nil {
+		t.Error("invalid port accepted")
+	}
+}
+
+type badStrategy struct{}
+
+func (badStrategy) Name() string          { return "bad" }
+func (badStrategy) Next(View) (int, bool) { return 99, false }
+
+func TestRunMoveCap(t *testing.T) {
+	g := mustGraph(t)(graphgen.Cycle(4))
+	// A strategy that walks forever.
+	if _, err := Run(g, 0, nil, forever{}, 10); err == nil {
+		t.Error("move cap not enforced")
+	}
+}
+
+type forever struct{}
+
+func (forever) Name() string          { return "forever" }
+func (forever) Next(View) (int, bool) { return 0, false }
+
+func TestSingleNodeExploration(t *testing.T) {
+	b := graph.NewBuilder(1)
+	g, err := b.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(g, 0, nil, NewDFS(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete || res.Moves != 0 {
+		t.Errorf("single node: %+v", res)
+	}
+	advice, err := TreeOracle(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = Run(g, 0, advice, NewTree(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete || res.Moves != 0 {
+		t.Errorf("single node tree: %+v", res)
+	}
+}
+
+func TestTreeOracleSizeMatchesWakeup(t *testing.T) {
+	g := mustGraph(t)(graphgen.RandomConnected(60, 120, rand.New(rand.NewSource(7))))
+	advice, err := TreeOracle(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a sim.Advice = advice
+	if a.SizeBits() == 0 {
+		t.Error("tree oracle empty")
+	}
+}
+
+func BenchmarkDFSExplore(b *testing.B) {
+	g, err := graphgen.RandomConnected(256, 1024, rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(g, 0, nil, NewDFS(), 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTreeExplore(b *testing.B) {
+	g, err := graphgen.RandomConnected(256, 1024, rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	advice, err := TreeOracle(g, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(g, 0, advice, NewTree(), 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

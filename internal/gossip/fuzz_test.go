@@ -1,0 +1,38 @@
+package gossip
+
+import (
+	"testing"
+
+	"oraclesize/internal/bitstring"
+)
+
+// FuzzDecodeRole: arbitrary advice either decodes to a structurally sane
+// Role or errors — never panics, never yields negative child ports.
+func FuzzDecodeRole(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0x00})
+	f.Add([]byte{0b00111100, 0b10101010, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var w bitstring.Writer
+		for _, b := range data {
+			for i := 0; i < 8; i++ {
+				w.WriteBit(b&(1<<uint(i)) != 0)
+			}
+		}
+		role, err := DecodeRole(w.String())
+		if err != nil {
+			return
+		}
+		if role.IsRoot && role.ParentPort != -1 {
+			t.Fatal("root with a parent port")
+		}
+		if !role.IsRoot && role.ParentPort < 0 {
+			t.Fatal("non-root without a parent port")
+		}
+		for _, p := range role.ChildPorts {
+			if p < 0 {
+				t.Fatalf("negative child port %d", p)
+			}
+		}
+	})
+}

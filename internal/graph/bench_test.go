@@ -1,0 +1,65 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchGraph(b *testing.B, n, extra int) *Graph {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	bd := NewBuilder(n)
+	type pair struct{ u, v NodeID }
+	used := map[pair]bool{}
+	add := func(u, v NodeID) {
+		if u > v {
+			u, v = v, u
+		}
+		if u == v || used[pair{u, v}] {
+			return
+		}
+		used[pair{u, v}] = true
+		bd.AddEdgeAuto(u, v)
+	}
+	for i := 1; i < n; i++ {
+		add(NodeID(rng.Intn(i)), NodeID(i))
+	}
+	for len(used) < n-1+extra {
+		add(NodeID(rng.Intn(n)), NodeID(rng.Intn(n)))
+	}
+	g, err := bd.Graph()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func BenchmarkBFS(b *testing.B) {
+	g := benchGraph(b, 4096, 12288)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := g.BFS(0); len(res.Order) != g.N() {
+			b.Fatal("incomplete BFS")
+		}
+	}
+}
+
+func BenchmarkValidate(b *testing.B) {
+	g := benchGraph(b, 2048, 6144)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := g.Validate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEdges(b *testing.B) {
+	g := benchGraph(b, 2048, 6144)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(g.Edges()) != g.M() {
+			b.Fatal("edge count mismatch")
+		}
+	}
+}

@@ -1,0 +1,393 @@
+// Package graph implements the network model of Fraigniaud, Ilcinkas and
+// Pelc (PODC 2006): undirected connected graphs whose nodes carry distinct
+// labels and whose edge endpoints carry local port numbers 0..deg(v)-1.
+//
+// A node of degree d sees its incident edges only through ports 0..d-1; the
+// mapping from ports to neighbors is part of the instance, and the paper's
+// lower bounds hinge on specific port labelings. Graphs in this package are
+// immutable after construction and validated to have a proper port
+// assignment.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node as a dense index in [0, N). It is distinct from
+// the node's label: proofs in the paper manipulate labels (e.g. nodes
+// labeled n+1..2n are the hidden subdivision nodes), while IDs index arrays.
+type NodeID int
+
+// Half is a directed half-edge: the far endpoint and the port number used at
+// that far endpoint for the reverse direction.
+type Half struct {
+	To     NodeID
+	ToPort int
+}
+
+// Edge is an undirected edge in canonical orientation (U < V), together with
+// the port numbers at both endpoints.
+type Edge struct {
+	U, V   NodeID
+	PU, PV int
+}
+
+// Canonical returns e with endpoints ordered so that U < V.
+func (e Edge) Canonical() Edge {
+	if e.U > e.V {
+		return Edge{U: e.V, V: e.U, PU: e.PV, PV: e.PU}
+	}
+	return e
+}
+
+// Graph is an immutable labeled port-numbered undirected graph.
+type Graph struct {
+	labels  []int64
+	adj     [][]Half
+	byLabel map[int64]NodeID
+	m       int
+}
+
+// N reports the number of nodes.
+func (g *Graph) N() int { return len(g.adj) }
+
+// M reports the number of undirected edges.
+func (g *Graph) M() int { return g.m }
+
+// Degree reports the degree of v.
+func (g *Graph) Degree(v NodeID) int { return len(g.adj[v]) }
+
+// Label reports the label of v.
+func (g *Graph) Label(v NodeID) int64 { return g.labels[v] }
+
+// NodeByLabel returns the node carrying the given label.
+func (g *Graph) NodeByLabel(label int64) (NodeID, bool) {
+	v, ok := g.byLabel[label]
+	return v, ok
+}
+
+// Neighbor resolves port p at node v: it returns the neighbor u and the port
+// number at u of the same edge.
+func (g *Graph) Neighbor(v NodeID, p int) (NodeID, int) {
+	h := g.adj[v][p]
+	return h.To, h.ToPort
+}
+
+// PortTo returns the port at u leading to v, or -1 if {u,v} is not an edge.
+// It is a linear scan over u's ports; callers on hot paths should build
+// their own index.
+func (g *Graph) PortTo(u, v NodeID) int {
+	for p, h := range g.adj[u] {
+		if h.To == v {
+			return p
+		}
+	}
+	return -1
+}
+
+// HasEdge reports whether {u,v} is an edge.
+func (g *Graph) HasEdge(u, v NodeID) bool { return g.PortTo(u, v) >= 0 }
+
+// Edges returns all edges in canonical orientation, sorted by (U, V).
+func (g *Graph) Edges() []Edge {
+	edges := make([]Edge, 0, g.m)
+	for u := NodeID(0); int(u) < g.N(); u++ {
+		for pu, h := range g.adj[u] {
+			if u < h.To {
+				edges = append(edges, Edge{U: u, V: h.To, PU: pu, PV: h.ToPort})
+			}
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].U != edges[j].U {
+			return edges[i].U < edges[j].U
+		}
+		return edges[i].V < edges[j].V
+	})
+	return edges
+}
+
+// MaxLabel returns the largest node label in the graph.
+func (g *Graph) MaxLabel() int64 {
+	var maxLabel int64
+	for _, l := range g.labels {
+		if l > maxLabel {
+			maxLabel = l
+		}
+	}
+	return maxLabel
+}
+
+// MaxDegree returns the largest degree in the graph.
+func (g *Graph) MaxDegree() int {
+	maxDeg := 0
+	for v := range g.adj {
+		if len(g.adj[v]) > maxDeg {
+			maxDeg = len(g.adj[v])
+		}
+	}
+	return maxDeg
+}
+
+// BFSResult holds a breadth-first search tree rooted at Root.
+type BFSResult struct {
+	Root NodeID
+	// Parent[v] is v's BFS parent, or -1 for the root and unreachable nodes.
+	Parent []NodeID
+	// ParentPort[v] is the port at v of the edge to Parent[v], or -1.
+	ParentPort []int
+	// ChildPort[v] is the port at Parent[v] of the edge to v, or -1.
+	ChildPort []int
+	// Dist[v] is the hop distance from Root, or -1 if unreachable.
+	Dist []int
+	// Order lists reachable nodes in visit order (root first).
+	Order []NodeID
+}
+
+// BFS runs a breadth-first search from root, scanning ports in increasing
+// order so the result is deterministic.
+func (g *Graph) BFS(root NodeID) *BFSResult {
+	n := g.N()
+	res := &BFSResult{
+		Root:       root,
+		Parent:     make([]NodeID, n),
+		ParentPort: make([]int, n),
+		ChildPort:  make([]int, n),
+		Dist:       make([]int, n),
+		Order:      make([]NodeID, 0, n),
+	}
+	for v := range res.Parent {
+		res.Parent[v] = -1
+		res.ParentPort[v] = -1
+		res.ChildPort[v] = -1
+		res.Dist[v] = -1
+	}
+	res.Dist[root] = 0
+	queue := []NodeID{root}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		res.Order = append(res.Order, v)
+		for p, h := range g.adj[v] {
+			if res.Dist[h.To] >= 0 {
+				continue
+			}
+			res.Dist[h.To] = res.Dist[v] + 1
+			res.Parent[h.To] = v
+			res.ParentPort[h.To] = h.ToPort
+			res.ChildPort[h.To] = p
+			queue = append(queue, h.To)
+		}
+	}
+	return res
+}
+
+// Connected reports whether the graph is connected. The empty graph is
+// considered connected.
+func (g *Graph) Connected() bool {
+	if g.N() == 0 {
+		return true
+	}
+	return len(g.BFS(0).Order) == g.N()
+}
+
+// Eccentricity returns the largest BFS distance from v to any node,
+// or -1 if some node is unreachable.
+func (g *Graph) Eccentricity(v NodeID) int {
+	res := g.BFS(v)
+	ecc := 0
+	for _, d := range res.Dist {
+		if d < 0 {
+			return -1
+		}
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}
+
+// Diameter computes the exact diameter by n BFS runs. Intended for test and
+// experiment sizes.
+func (g *Graph) Diameter() int {
+	diam := 0
+	for v := NodeID(0); int(v) < g.N(); v++ {
+		e := g.Eccentricity(v)
+		if e < 0 {
+			return -1
+		}
+		if e > diam {
+			diam = e
+		}
+	}
+	return diam
+}
+
+// Validate re-checks the structural invariants: symmetric half-edges with
+// consistent reverse ports, no self-loops, no parallel edges, distinct
+// labels. Builders validate on construction; Validate exists for tests and
+// for graphs produced by transformation code.
+func (g *Graph) Validate() error {
+	seen := make(map[int64]NodeID, g.N())
+	for v := NodeID(0); int(v) < g.N(); v++ {
+		if prev, dup := seen[g.labels[v]]; dup {
+			return fmt.Errorf("graph: duplicate label %d on nodes %d and %d", g.labels[v], prev, v)
+		}
+		seen[g.labels[v]] = v
+		neighbors := make(map[NodeID]bool, len(g.adj[v]))
+		for p, h := range g.adj[v] {
+			if h.To == v {
+				return fmt.Errorf("graph: self-loop at node %d port %d", v, p)
+			}
+			if h.To < 0 || int(h.To) >= g.N() {
+				return fmt.Errorf("graph: node %d port %d points to invalid node %d", v, p, h.To)
+			}
+			if neighbors[h.To] {
+				return fmt.Errorf("graph: parallel edge between %d and %d", v, h.To)
+			}
+			neighbors[h.To] = true
+			if h.ToPort < 0 || h.ToPort >= len(g.adj[h.To]) {
+				return fmt.Errorf("graph: node %d port %d has reverse port %d out of range at node %d", v, p, h.ToPort, h.To)
+			}
+			back := g.adj[h.To][h.ToPort]
+			if back.To != v || back.ToPort != p {
+				return fmt.Errorf("graph: asymmetric edge %d:%d <-> %d:%d", v, p, h.To, h.ToPort)
+			}
+		}
+	}
+	edgeCount := 0
+	for v := range g.adj {
+		edgeCount += len(g.adj[v])
+	}
+	if edgeCount != 2*g.m {
+		return fmt.Errorf("graph: edge count %d inconsistent with half-edge total %d", g.m, edgeCount)
+	}
+	return nil
+}
+
+// Builder assembles a Graph. Nodes are created up front; edges are attached
+// either at explicit ports or at the next free port of each endpoint.
+type Builder struct {
+	labels []int64
+	adj    [][]Half
+	err    error
+}
+
+// NewBuilder creates a builder for n nodes, labeled 1..n by default
+// (the paper's convention).
+func NewBuilder(n int) *Builder {
+	b := &Builder{
+		labels: make([]int64, n),
+		adj:    make([][]Half, n),
+	}
+	for v := range b.labels {
+		b.labels[v] = int64(v) + 1
+	}
+	return b
+}
+
+// SetLabel overrides the label of v.
+func (b *Builder) SetLabel(v NodeID, label int64) {
+	if b.err != nil {
+		return
+	}
+	if int(v) >= len(b.labels) {
+		b.err = fmt.Errorf("graph: SetLabel on invalid node %d", v)
+		return
+	}
+	b.labels[v] = label
+}
+
+// AddEdgeAuto connects u and v using the next free port at each endpoint.
+func (b *Builder) AddEdgeAuto(u, v NodeID) {
+	if b.err != nil {
+		return
+	}
+	b.AddEdge(u, len(b.adj[u]), v, len(b.adj[v]))
+}
+
+// AddEdge connects u (at port pu) and v (at port pv). Ports may be assigned
+// in any order but must form a contiguous 0..deg-1 range by the time Graph
+// is called.
+func (b *Builder) AddEdge(u NodeID, pu int, v NodeID, pv int) {
+	if b.err != nil {
+		return
+	}
+	if u == v {
+		b.err = fmt.Errorf("graph: self-loop at node %d", u)
+		return
+	}
+	if int(u) >= len(b.adj) || int(v) >= len(b.adj) || u < 0 || v < 0 {
+		b.err = fmt.Errorf("graph: AddEdge on invalid nodes %d, %d", u, v)
+		return
+	}
+	b.growPorts(u, pu)
+	b.growPorts(v, pv)
+	if b.err != nil {
+		return
+	}
+	if b.adj[u][pu].To != -1 {
+		b.err = fmt.Errorf("graph: port %d at node %d already in use", pu, u)
+		return
+	}
+	if b.adj[v][pv].To != -1 {
+		b.err = fmt.Errorf("graph: port %d at node %d already in use", pv, v)
+		return
+	}
+	b.adj[u][pu] = Half{To: v, ToPort: pv}
+	b.adj[v][pv] = Half{To: u, ToPort: pu}
+}
+
+func (b *Builder) growPorts(v NodeID, p int) {
+	if p < 0 {
+		b.err = fmt.Errorf("graph: negative port %d at node %d", p, v)
+		return
+	}
+	for len(b.adj[v]) <= p {
+		b.adj[v] = append(b.adj[v], Half{To: -1})
+	}
+}
+
+// Graph validates and returns the built graph.
+func (b *Builder) Graph() (*Graph, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	m := 0
+	for v := range b.adj {
+		for p, h := range b.adj[v] {
+			if h.To == -1 {
+				return nil, fmt.Errorf("graph: unused port %d at node %d (ports must be contiguous)", p, v)
+			}
+		}
+		m += len(b.adj[v])
+	}
+	if m%2 != 0 {
+		return nil, errors.New("graph: internal error: odd half-edge count")
+	}
+	g := &Graph{
+		labels:  b.labels,
+		adj:     b.adj,
+		byLabel: make(map[int64]NodeID, len(b.labels)),
+		m:       m / 2,
+	}
+	for v, l := range b.labels {
+		g.byLabel[l] = NodeID(v)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// MustGraph is Graph but panics on error; for generators whose inputs are
+// internally validated.
+func (b *Builder) MustGraph() *Graph {
+	g, err := b.Graph()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

@@ -1,0 +1,130 @@
+package graphgen
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"oraclesize/internal/graph"
+)
+
+func TestShufflePortsPreservesDegreeSequenceProperty(t *testing.T) {
+	f := func(seed int64, nSeed, mSeed uint8) bool {
+		n := int(nSeed%40) + 4
+		maxM := n * (n - 1) / 2
+		m := n - 1 + int(mSeed)%(maxM-(n-1)+1)
+		rng := rand.New(rand.NewSource(seed))
+		g, err := RandomConnected(n, m, rng)
+		if err != nil {
+			return false
+		}
+		s, err := ShufflePorts(g, rng)
+		if err != nil {
+			return false
+		}
+		if s.N() != g.N() || s.M() != g.M() {
+			return false
+		}
+		for v := graph.NodeID(0); int(v) < g.N(); v++ {
+			if s.Degree(v) != g.Degree(v) {
+				return false
+			}
+		}
+		return s.Connected() && s.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCliqueGadgetInvariantsProperty(t *testing.T) {
+	f := func(seed int64, kSeed uint8) bool {
+		k := int(kSeed%4) + 3 // k in 3..6
+		n := 4 * k * 2        // 4k | n
+		rng := rand.New(rand.NewSource(seed))
+		s, err := RandomEdgeTuple(n, n/k, rng)
+		if err != nil {
+			return false
+		}
+		g, err := CliqueGadget(n, k, s, RandomGadgetPairs(n/k, k, rng))
+		if err != nil {
+			return false
+		}
+		if g.N() != n+(n/k)*k || !g.Connected() {
+			return false
+		}
+		// Paper: all nodes labeled > n have degree k-1.
+		for v := graph.NodeID(0); int(v) < g.N(); v++ {
+			if g.Label(v) > int64(n) && g.Degree(v) != k-1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompletePortBijectionProperty(t *testing.T) {
+	f := func(nSeed uint8) bool {
+		n := int(nSeed%30) + 2
+		g, err := Complete(n)
+		if err != nil {
+			return false
+		}
+		// Each node's ports hit each neighbor exactly once.
+		for v := graph.NodeID(0); int(v) < n; v++ {
+			seen := make(map[graph.NodeID]bool, n-1)
+			for p := 0; p < g.Degree(v); p++ {
+				u, _ := g.Neighbor(v, p)
+				if u == v || seen[u] {
+					return false
+				}
+				seen[u] = true
+			}
+			if len(seen) != n-1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubdividedDegreesProperty(t *testing.T) {
+	// Subdivision is invisible from the original nodes' port structure:
+	// degrees stay n-1 and hidden nodes have degree exactly 2.
+	f := func(seed int64, nSeed, cSeed uint8) bool {
+		n := int(nSeed%12) + 5
+		c := int(cSeed%3) + 1
+		hidden := c * n
+		if hidden > n*(n-1)/2 {
+			return true // vacuous
+		}
+		rng := rand.New(rand.NewSource(seed))
+		s, err := RandomEdgeTuple(n, hidden, rng)
+		if err != nil {
+			return false
+		}
+		g, err := SubdividedComplete(n, s)
+		if err != nil {
+			return false
+		}
+		for v := graph.NodeID(0); int(v) < g.N(); v++ {
+			if g.Label(v) <= int64(n) {
+				if g.Degree(v) != n-1 {
+					return false
+				}
+			} else if g.Degree(v) != 2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

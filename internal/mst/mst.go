@@ -1,0 +1,140 @@
+// Package mst applies the oracle-size lens to minimum-spanning-tree
+// construction, the second task the paper's §1.2 names. Edge weights are
+// the paper's w(e) = min{port_u(e), port_v(e)}, totally ordered by
+// (w, smaller endpoint label, larger endpoint label) so the MST is unique.
+//
+// Two points on the knowledge scale:
+//
+//   - zero advice: a distributed Borůvka. Each phase, every node exchanges
+//     fragment identifiers with its neighbors (2m messages), fragments
+//     convergecast their minimum outgoing edge to the fragment root
+//     (< n messages), and the proposed edges merge the fragments. The
+//     fragment trees and identifiers carried between phases are the
+//     algorithm's own previous outputs; O(log n) phases, O((m+n)·log n)
+//     messages in total.
+//   - Θ(n log n) advice: the oracle writes each node's MST parent port;
+//     nodes output the tree with zero messages.
+//
+// Verification is exact: the constructed edge set must equal the unique
+// MST under the total order.
+package mst
+
+import (
+	"fmt"
+	"sort"
+
+	"oraclesize/internal/graph"
+)
+
+// Weight is the paper's edge weight: the smaller port number.
+func Weight(e graph.Edge) int {
+	if e.PU < e.PV {
+		return e.PU
+	}
+	return e.PV
+}
+
+// labelKey is the total order on edges: weight, then the two endpoint
+// labels in sorted order.
+type labelKey struct {
+	w      int
+	lo, hi int64
+}
+
+func keyOf(g *graph.Graph, e graph.Edge) labelKey {
+	e = e.Canonical()
+	lu, lv := g.Label(e.U), g.Label(e.V)
+	if lu > lv {
+		lu, lv = lv, lu
+	}
+	return labelKey{w: Weight(e), lo: lu, hi: lv}
+}
+
+func keyLess(a, b labelKey) bool {
+	if a.w != b.w {
+		return a.w < b.w
+	}
+	if a.lo != b.lo {
+		return a.lo < b.lo
+	}
+	return a.hi < b.hi
+}
+
+// Exact computes the unique MST under the total order, by Prim's algorithm
+// with exact tie-breaking. Reference for verification.
+func Exact(g *graph.Graph) ([]graph.Edge, error) {
+	n := g.N()
+	if n == 0 {
+		return nil, fmt.Errorf("mst: empty graph")
+	}
+	if !g.Connected() {
+		return nil, fmt.Errorf("mst: graph is not connected")
+	}
+	inTree := make([]bool, n)
+	bestEdge := make([]graph.Edge, n)
+	bestKey := make([]labelKey, n)
+	hasBest := make([]bool, n)
+	attach := func(v graph.NodeID) {
+		inTree[v] = true
+		hasBest[v] = false
+		for p := 0; p < g.Degree(v); p++ {
+			u, q := g.Neighbor(v, p)
+			if inTree[u] {
+				continue
+			}
+			e := graph.Edge{U: v, V: u, PU: p, PV: q}.Canonical()
+			k := keyOf(g, e)
+			if !hasBest[u] || keyLess(k, bestKey[u]) {
+				bestEdge[u], bestKey[u], hasBest[u] = e, k, true
+			}
+		}
+	}
+	attach(0)
+	edges := make([]graph.Edge, 0, n-1)
+	for len(edges) < n-1 {
+		pick := graph.NodeID(-1)
+		for v := 0; v < n; v++ {
+			if inTree[v] || !hasBest[v] {
+				continue
+			}
+			if pick < 0 || keyLess(bestKey[v], bestKey[pick]) {
+				pick = graph.NodeID(v)
+			}
+		}
+		if pick < 0 {
+			return nil, fmt.Errorf("mst: no crossing edge in a connected graph")
+		}
+		edges = append(edges, bestEdge[pick])
+		attach(pick)
+	}
+	sortEdges(edges)
+	return edges, nil
+}
+
+func sortEdges(edges []graph.Edge) {
+	sort.Slice(edges, func(i, j int) bool {
+		a, b := edges[i].Canonical(), edges[j].Canonical()
+		if a.U != b.U {
+			return a.U < b.U
+		}
+		return a.V < b.V
+	})
+}
+
+// SameEdgeSet reports whether two canonical edge lists contain the same
+// undirected edges.
+func SameEdgeSet(a, b []graph.Edge) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	set := make(map[graph.Edge]bool, len(a))
+	for _, e := range a {
+		set[e.Canonical()] = true
+	}
+	for _, e := range b {
+		if !set[e.Canonical()] {
+			return false
+		}
+	}
+	return true
+}

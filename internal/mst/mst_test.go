@@ -1,0 +1,231 @@
+package mst
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"oraclesize/internal/graph"
+	"oraclesize/internal/graphgen"
+	"oraclesize/internal/sim"
+	"oraclesize/internal/spantree"
+)
+
+func mustGraph(t *testing.T) func(*graph.Graph, error) *graph.Graph {
+	t.Helper()
+	return func(g *graph.Graph, err error) *graph.Graph {
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+}
+
+func testGraphs(t *testing.T) map[string]*graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(17))
+	return map[string]*graph.Graph{
+		"path":      mustGraph(t)(graphgen.Path(12)),
+		"cycle":     mustGraph(t)(graphgen.Cycle(15)),
+		"grid":      mustGraph(t)(graphgen.Grid(5, 5)),
+		"hypercube": mustGraph(t)(graphgen.Hypercube(5)),
+		"complete":  mustGraph(t)(graphgen.Complete(12)),
+		"random":    mustGraph(t)(graphgen.RandomConnected(40, 120, rng)),
+		"dense":     mustGraph(t)(graphgen.RandomConnected(24, 200, rng)),
+	}
+}
+
+func TestExactIsSpanningTree(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		edges, err := Exact(g)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(edges) != g.N()-1 {
+			t.Errorf("%s: %d edges", name, len(edges))
+		}
+		if _, err := spantree.Rooted(g, edges, 0); err != nil {
+			t.Errorf("%s: not spanning: %v", name, err)
+		}
+	}
+}
+
+func TestExactMinimizesWeight(t *testing.T) {
+	// The exact MST's total weight never exceeds any spanning tree we can
+	// easily produce (BFS, DFS, light).
+	g := mustGraph(t)(graphgen.RandomConnected(30, 200, rand.New(rand.NewSource(5))))
+	mstEdges, err := Exact(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := func(edges []graph.Edge) int {
+		total := 0
+		for _, e := range edges {
+			total += Weight(e)
+		}
+		return total
+	}
+	light, err := spantree.Light(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum(mstEdges) > sum(light) {
+		t.Errorf("MST weight %d > light tree weight %d", sum(mstEdges), sum(light))
+	}
+	bfs, err := spantree.BFS(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum(mstEdges) > sum(bfs.Edges()) {
+		t.Errorf("MST weight %d > BFS tree weight %d", sum(mstEdges), sum(bfs.Edges()))
+	}
+}
+
+func TestBoruvkaMatchesExact(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		res, err := Boruvka(g, nil)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		want, err := Exact(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !SameEdgeSet(res.Edges, want) {
+			t.Errorf("%s: Borůvka tree differs from the exact MST", name)
+		}
+		if res.Phases > bitsLen(g.N())+1 {
+			t.Errorf("%s: %d phases for n=%d", name, res.Phases, g.N())
+		}
+		// O((m+n) log n) messages.
+		if res.Messages > (2*g.M()+g.N())*(bitsLen(g.N())+1) {
+			t.Errorf("%s: %d messages", name, res.Messages)
+		}
+	}
+}
+
+func TestBoruvkaUnderAdversarialSchedulers(t *testing.T) {
+	g := mustGraph(t)(graphgen.RandomConnected(30, 90, rand.New(rand.NewSource(9))))
+	want, err := Exact(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, factory := range sim.Schedulers(31) {
+		res, err := Boruvka(g, factory)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if !SameEdgeSet(res.Edges, want) {
+			t.Errorf("%s: wrong tree", name)
+		}
+	}
+}
+
+func TestBoruvkaSingleAndTiny(t *testing.T) {
+	single, err := graph.NewBuilder(1).Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Boruvka(single, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Edges) != 0 || res.Phases != 0 {
+		t.Errorf("single node: %+v", res)
+	}
+	pair := mustGraph(t)(graphgen.Path(2))
+	res, err = Boruvka(pair, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Edges) != 1 || res.Phases != 1 {
+		t.Errorf("pair: %+v", res)
+	}
+}
+
+func TestBoruvkaRejectsDisconnected(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.AddEdgeAuto(0, 1)
+	b.AddEdgeAuto(2, 3)
+	g, err := b.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Boruvka(g, nil); err == nil {
+		t.Error("disconnected graph accepted")
+	}
+	if _, err := Exact(g); err == nil {
+		t.Error("Exact accepted disconnected graph")
+	}
+}
+
+func TestOracleSilentMatchesExact(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		advice, err := Oracle{}.Advise(g, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		res, err := sim.Run(g, 0, Silent{}, advice, sim.Options{RetainNodes: true})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Messages != 0 {
+			t.Errorf("%s: oracle-fed run sent %d messages", name, res.Messages)
+		}
+		if err := VerifySilent(g, res.Nodes); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestBoruvkaPropertyRandomGraphs(t *testing.T) {
+	f := func(seed int64, nSeed, mSeed uint8) bool {
+		n := int(nSeed%30) + 3
+		maxM := n * (n - 1) / 2
+		m := n - 1 + int(mSeed)%(maxM-(n-1)+1)
+		g, err := graphgen.RandomConnected(n, m, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return false
+		}
+		res, err := Boruvka(g, nil)
+		if err != nil {
+			return false
+		}
+		want, err := Exact(g)
+		if err != nil {
+			return false
+		}
+		return SameEdgeSet(res.Edges, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkBoruvka(b *testing.B) {
+	g, err := graphgen.RandomConnected(256, 1024, rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Boruvka(g, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExactMST(b *testing.B) {
+	g, err := graphgen.RandomConnected(256, 1024, rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Exact(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

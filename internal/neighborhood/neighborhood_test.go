@@ -1,0 +1,217 @@
+package neighborhood
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"oraclesize/internal/graph"
+	"oraclesize/internal/graphgen"
+	"oraclesize/internal/sim"
+)
+
+func mustGraph(t *testing.T) func(*graph.Graph, error) *graph.Graph {
+	t.Helper()
+	return func(g *graph.Graph, err error) *graph.Graph {
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+}
+
+func testGraphs(t *testing.T) map[string]*graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(21))
+	return map[string]*graph.Graph{
+		"path":     mustGraph(t)(graphgen.Path(15)),
+		"cycle":    mustGraph(t)(graphgen.Cycle(14)),
+		"grid":     mustGraph(t)(graphgen.Grid(5, 5)),
+		"complete": mustGraph(t)(graphgen.Complete(12)),
+		"wheel":    mustGraph(t)(graphgen.Wheel(11)),
+		"random":   mustGraph(t)(graphgen.RandomConnected(30, 150, rng)),
+		"dense":    mustGraph(t)(graphgen.RandomConnected(20, 150, rng)),
+	}
+}
+
+func TestDecodeBallRoundTrip(t *testing.T) {
+	g := mustGraph(t)(graphgen.Wheel(8))
+	advice, err := BallOracle{}.Advise(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := graph.NodeID(0); int(v) < g.N(); v++ {
+		ball, err := DecodeBall(advice[v], g.Degree(v))
+		if err != nil {
+			t.Fatalf("node %d: %v", v, err)
+		}
+		for p := 0; p < g.Degree(v); p++ {
+			u, _ := g.Neighbor(v, p)
+			if ball.NeighborLabels[p] != g.Label(u) {
+				t.Errorf("node %d port %d: label %d, want %d", v, p, ball.NeighborLabels[p], g.Label(u))
+			}
+			for q := p + 1; q < g.Degree(v); q++ {
+				w, _ := g.Neighbor(v, q)
+				if ball.Adjacent(p, q) != g.HasEdge(u, w) {
+					t.Errorf("node %d: adjacency (%d,%d) wrong", v, p, q)
+				}
+			}
+		}
+	}
+}
+
+func TestRuleIsSymmetric(t *testing.T) {
+	// Both endpoints of every edge reach the same keep/drop verdict.
+	g := mustGraph(t)(graphgen.RandomConnected(25, 120, rand.New(rand.NewSource(9))))
+	advice, err := BallOracle{}.Advise(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range g.Edges() {
+		ballU, err := DecodeBall(advice[e.U], g.Degree(e.U))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ballV, err := DecodeBall(advice[e.V], g.Degree(e.V))
+		if err != nil {
+			t.Fatal(err)
+		}
+		keptU := containsInt(KeptPorts(g.Label(e.U), ballU), e.PU)
+		keptV := containsInt(KeptPorts(g.Label(e.V), ballV), e.PV)
+		if keptU != keptV {
+			t.Errorf("edge %v: endpoint verdicts differ (%v vs %v)", e, keptU, keptV)
+		}
+	}
+}
+
+func TestSparseSubgraphConnected(t *testing.T) {
+	// The pruning rule must preserve connectivity on every family.
+	for name, g := range testGraphs(t) {
+		advice, err := BallOracle{}.Advise(g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := graph.NewBuilder(g.N())
+		added := map[[2]graph.NodeID]bool{}
+		for _, e := range g.Edges() {
+			ball, err := DecodeBall(advice[e.U], g.Degree(e.U))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if containsInt(KeptPorts(g.Label(e.U), ball), e.PU) {
+				k := [2]graph.NodeID{e.U, e.V}
+				if !added[k] {
+					added[k] = true
+					b.AddEdgeAuto(e.U, e.V)
+				}
+			}
+		}
+		sub, err := b.Graph()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !sub.Connected() {
+			t.Errorf("%s: sparsified subgraph disconnected (%d of %d edges)", name, sub.M(), g.M())
+		}
+	}
+}
+
+func TestSparseFloodWakesEveryone(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		advice, err := BallOracle{}.Advise(g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(g, 0, SparseFlood{}, advice, sim.Options{EnforceWakeup: true})
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if !res.AllInformed {
+			t.Errorf("%s: incomplete", name)
+		}
+		sparse, err := SparseEdgeCount(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Messages > 2*sparse {
+			t.Errorf("%s: %d messages > 2·sparse edges (%d)", name, res.Messages, sparse)
+		}
+	}
+}
+
+func TestSparsificationHelpsOnDenseGraphs(t *testing.T) {
+	// On K_n the rule keeps only n-1 edges (every triangle loses its top
+	// edge), so the flood costs ~2n instead of ~2m = n(n-1).
+	g := mustGraph(t)(graphgen.Complete(24))
+	sparse, err := SparseEdgeCount(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sparse != g.N()-1 {
+		t.Errorf("K_%d: %d sparse edges, want n-1 = %d", g.N(), sparse, g.N()-1)
+	}
+	advice, err := BallOracle{}.Advise(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(g, 0, SparseFlood{}, advice, sim.Options{EnforceWakeup: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllInformed {
+		t.Fatal("incomplete")
+	}
+	if res.Messages >= g.M() {
+		t.Errorf("sparse flood used %d messages on K_%d (m = %d)", res.Messages, g.N(), g.M())
+	}
+}
+
+func TestTreesAreUntouched(t *testing.T) {
+	// Triangle-free graphs have nothing to prune.
+	g := mustGraph(t)(graphgen.DAryTree(31, 2))
+	sparse, err := SparseEdgeCount(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sparse != g.M() {
+		t.Errorf("tree: %d sparse edges, want all %d", sparse, g.M())
+	}
+}
+
+func TestBallSizeDwarfsPaperOracles(t *testing.T) {
+	// The traditional knowledge is expensive: Θ(Σ deg log n + Σ deg²) bits.
+	g := mustGraph(t)(graphgen.Complete(32))
+	advice, err := BallOracle{}.Advise(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On K_n: each node stores (n-1) labels + C(n-1,2) bits: Ω(n²) per node.
+	if advice.SizeBits() < g.N()*g.N() {
+		t.Errorf("ball oracle suspiciously small: %d bits", advice.SizeBits())
+	}
+}
+
+func TestConnectivityProperty(t *testing.T) {
+	f := func(seed int64, nSeed, mSeed uint8) bool {
+		n := int(nSeed%30) + 4
+		maxM := n * (n - 1) / 2
+		m := n - 1 + int(mSeed)%(maxM-(n-1)+1)
+		g, err := graphgen.RandomConnected(n, m, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return false
+		}
+		advice, err := BallOracle{}.Advise(g, 0)
+		if err != nil {
+			return false
+		}
+		res, err := sim.Run(g, 0, SparseFlood{}, advice, sim.Options{EnforceWakeup: true})
+		if err != nil {
+			return false
+		}
+		return res.AllInformed
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

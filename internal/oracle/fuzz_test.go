@@ -1,0 +1,52 @@
+package oracle
+
+import (
+	"testing"
+
+	"oraclesize/internal/bitstring"
+	"oraclesize/internal/graphgen"
+)
+
+// FuzzDecodeGraph: arbitrary bit strings either decode to a valid graph or
+// error — never panic, never allocate absurdly. Round-tripping a real
+// encoding must still succeed (seeded below).
+func FuzzDecodeGraph(f *testing.F) {
+	g, err := graphgen.Grid(3, 3)
+	if err != nil {
+		f.Fatal(err)
+	}
+	enc := EncodeGraph(g)
+	seed := make([]byte, 0, enc.Len()/8+1)
+	var cur byte
+	for i := 0; i < enc.Len(); i++ {
+		if enc.Bit(i) {
+			cur |= 1 << uint(i%8)
+		}
+		if i%8 == 7 {
+			seed = append(seed, cur)
+			cur = 0
+		}
+	}
+	seed = append(seed, cur)
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return // keep each execution fast
+		}
+		var w bitstring.Writer
+		for _, b := range data {
+			for i := 0; i < 8; i++ {
+				w.WriteBit(b&(1<<uint(i)) != 0)
+			}
+		}
+		dec, err := DecodeGraph(w.String())
+		if err != nil {
+			return
+		}
+		if err := dec.Validate(); err != nil {
+			t.Fatalf("decoded graph fails validation: %v", err)
+		}
+	})
+}

@@ -1,0 +1,69 @@
+package oracle
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"oraclesize/internal/graph"
+	"oraclesize/internal/graphgen"
+)
+
+func TestEncodeDecodeGraphProperty(t *testing.T) {
+	// The graph codec is lossless on arbitrary connected graphs, including
+	// ports, labels and adjacency order.
+	f := func(seed int64, nSeed, mSeed uint8) bool {
+		n := int(nSeed%30) + 2
+		maxM := n * (n - 1) / 2
+		m := n - 1 + int(mSeed)%(maxM-(n-1)+1)
+		g, err := graphgen.RandomConnected(n, m, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return false
+		}
+		dec, err := DecodeGraph(EncodeGraph(g))
+		if err != nil {
+			return false
+		}
+		if dec.N() != g.N() || dec.M() != g.M() {
+			return false
+		}
+		for v := graph.NodeID(0); int(v) < g.N(); v++ {
+			if dec.Label(v) != g.Label(v) || dec.Degree(v) != g.Degree(v) {
+				return false
+			}
+			for p := 0; p < g.Degree(v); p++ {
+				u1, q1 := g.Neighbor(v, p)
+				u2, q2 := dec.Neighbor(v, p)
+				if u1 != u2 || q1 != q2 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFullMapSizeScalesWithEdgesProperty(t *testing.T) {
+	// The full map costs Θ(n·m·log n) bits: strictly more edges means
+	// strictly more bits at fixed n.
+	rng := rand.New(rand.NewSource(77))
+	n := 40
+	var prev int
+	for _, m := range []int{39, 100, 300, 700} {
+		g, err := graphgen.RandomConnected(n, m, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		advice, err := FullMap{}.Advise(g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if advice.SizeBits() <= prev {
+			t.Errorf("m=%d: full map %d bits not above previous %d", m, advice.SizeBits(), prev)
+		}
+		prev = advice.SizeBits()
+	}
+}

@@ -1,0 +1,193 @@
+package radio
+
+import (
+	"math/rand"
+	"testing"
+
+	"oraclesize/internal/bitstring"
+	"oraclesize/internal/graph"
+	"oraclesize/internal/graphgen"
+)
+
+func mustGraph(t *testing.T) func(*graph.Graph, error) *graph.Graph {
+	t.Helper()
+	return func(g *graph.Graph, err error) *graph.Graph {
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+}
+
+func testGraphs(t *testing.T) map[string]*graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(18))
+	return map[string]*graph.Graph{
+		"path":   mustGraph(t)(graphgen.Path(16)),
+		"star":   mustGraph(t)(graphgen.Star(12)),
+		"grid":   mustGraph(t)(graphgen.Grid(5, 5)),
+		"random": mustGraph(t)(graphgen.RandomConnected(25, 60, rng)),
+		"wheel":  mustGraph(t)(graphgen.Wheel(10)),
+	}
+}
+
+func TestRoundRobinCompletesWithoutCollisions(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		res, err := Run(g, 0, RoundRobinAdvice(g), RoundRobin{}, 0)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if !res.Complete {
+			t.Errorf("%s: incomplete", name)
+		}
+		// Distinct labels mod n give at most one transmitter per round.
+		if res.Collisions != 0 {
+			t.Errorf("%s: %d collisions under round-robin", name, res.Collisions)
+		}
+	}
+}
+
+func TestSequentialScheduleExactRounds(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		advice, err := SequentialAdvice(g, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		res, err := Run(g, 0, advice, ScheduledSequential(), 0)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if !res.Complete {
+			t.Errorf("%s: incomplete", name)
+		}
+		// Completion in exactly (number of internal BFS-tree nodes) rounds,
+		// one transmission each, no collisions.
+		bfs := g.BFS(0)
+		internal := make(map[graph.NodeID]bool)
+		for v := 0; v < g.N(); v++ {
+			if p := bfs.Parent[v]; p >= 0 {
+				internal[p] = true
+			}
+		}
+		if res.Rounds != len(internal) {
+			t.Errorf("%s: %d rounds, want %d", name, res.Rounds, len(internal))
+		}
+		if res.Transmissions != len(internal) {
+			t.Errorf("%s: %d transmissions, want %d", name, res.Transmissions, len(internal))
+		}
+		if res.Collisions != 0 {
+			t.Errorf("%s: %d collisions", name, res.Collisions)
+		}
+	}
+}
+
+func TestLayeredScheduleFasterThanSequentialOnShallow(t *testing.T) {
+	// On a star (depth 1), layered completes in 1 round; sequential also 1.
+	// On a grid, layered exploits parallel layers.
+	g := mustGraph(t)(graphgen.Grid(8, 8))
+	seqAdvice, err := SequentialAdvice(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := Run(g, 0, seqAdvice, ScheduledSequential(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layAdvice, err := LayeredAdvice(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lay, err := Run(g, 0, layAdvice, ScheduledLayered(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seq.Complete || !lay.Complete {
+		t.Fatal("incomplete")
+	}
+	if lay.Rounds >= seq.Rounds {
+		t.Errorf("layered (%d rounds) not faster than sequential (%d) on a grid", lay.Rounds, seq.Rounds)
+	}
+	if lay.Collisions != 0 {
+		t.Errorf("layered schedule collided %d times", lay.Collisions)
+	}
+}
+
+func TestLayeredCompletesEverywhere(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		advice, err := LayeredAdvice(g, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		res, err := Run(g, 0, advice, ScheduledLayered(), 0)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if !res.Complete || res.Collisions != 0 {
+			t.Errorf("%s: complete=%v collisions=%d", name, res.Complete, res.Collisions)
+		}
+	}
+}
+
+func TestKnowledgeBuysTime(t *testing.T) {
+	// The §1.1 gap: the full-knowledge schedule completes far faster than
+	// the label-only round-robin.
+	g := mustGraph(t)(graphgen.RandomConnected(40, 100, rand.New(rand.NewSource(6))))
+	rr, err := Run(g, 0, RoundRobinAdvice(g), RoundRobin{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	advice, err := LayeredAdvice(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lay, err := Run(g, 0, advice, ScheduledLayered(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lay.Rounds >= rr.Rounds {
+		t.Errorf("layered (%d) not faster than round-robin (%d)", lay.Rounds, rr.Rounds)
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	g := mustGraph(t)(graphgen.Path(4))
+	if _, err := Run(g, 9, nil, RoundRobin{}, 0); err == nil {
+		t.Error("bad source accepted")
+	}
+	// Empty advice: round-robin cannot read n and never transmits -> cap.
+	if _, err := Run(g, 0, nil, RoundRobin{}, 50); err == nil {
+		t.Error("silent protocol not capped")
+	}
+}
+
+func TestUninformedTransmitterRejected(t *testing.T) {
+	g := mustGraph(t)(graphgen.Path(3))
+	if _, err := Run(g, 0, nil, chatterbox{}, 10); err == nil {
+		t.Error("uninformed transmission accepted")
+	}
+}
+
+type chatterbox struct{}
+
+func (chatterbox) Name() string                                         { return "chatterbox" }
+func (chatterbox) Transmits(_ bitstring.String, _ int64, _, _ int) bool { return true }
+
+func BenchmarkRadioLayered(b *testing.B) {
+	g, err := graphgen.Grid(16, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	advice, err := LayeredAdvice(g, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(g, 0, advice, ScheduledLayered(), 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

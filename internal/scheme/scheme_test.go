@@ -1,0 +1,100 @@
+package scheme
+
+import (
+	"testing"
+
+	"oraclesize/internal/bitstring"
+)
+
+func TestKindString(t *testing.T) {
+	tests := []struct {
+		k    Kind
+		want string
+	}{
+		{KindM, "M"},
+		{KindHello, "hello"},
+		{KindProbe, "probe"},
+		{KindUp, "up"},
+		{KindDown, "down"},
+		{Kind(200), "?"},
+	}
+	for _, tc := range tests {
+		if got := tc.k.String(); got != tc.want {
+			t.Errorf("Kind(%d).String() = %q, want %q", tc.k, got, tc.want)
+		}
+	}
+}
+
+type countingNode struct {
+	info     NodeInfo
+	received int
+}
+
+func (c *countingNode) Init() []Send {
+	if !c.info.Source {
+		return nil
+	}
+	return []Send{{Port: 0, Msg: Message{Kind: KindProbe}}}
+}
+
+func (c *countingNode) Receive(Message, int) []Send {
+	c.received++
+	return nil
+}
+
+func TestFuncAdapter(t *testing.T) {
+	algo := Func{
+		AlgoName: "counting",
+		New:      func(info NodeInfo) Node { return &countingNode{info: info} },
+	}
+	if algo.Name() != "counting" {
+		t.Errorf("Name = %q", algo.Name())
+	}
+	srcNode := algo.NewNode(NodeInfo{Source: true, Degree: 2})
+	if sends := srcNode.Init(); len(sends) != 1 || sends[0].Port != 0 {
+		t.Errorf("source Init = %v", sends)
+	}
+	other := algo.NewNode(NodeInfo{Degree: 2})
+	if sends := other.Init(); len(sends) != 0 {
+		t.Errorf("non-source Init = %v", sends)
+	}
+	// Each NewNode call must create independent automata.
+	a := algo.NewNode(NodeInfo{Degree: 1}).(*countingNode)
+	b := algo.NewNode(NodeInfo{Degree: 1}).(*countingNode)
+	a.Receive(Message{}, 0)
+	if b.received != 0 {
+		t.Error("automata share state")
+	}
+}
+
+func TestNodeInfoCarriesQuadruple(t *testing.T) {
+	// NodeInfo mirrors the paper's (f(v), s(v), id(v), deg(v)).
+	info := NodeInfo{
+		Advice: bitstring.FromBits(1, 0),
+		Source: true,
+		Label:  42,
+		Degree: 3,
+	}
+	if info.Advice.Len() != 2 || !info.Source || info.Label != 42 || info.Degree != 3 {
+		t.Errorf("info = %+v", info)
+	}
+}
+
+func TestMessageSizeBits(t *testing.T) {
+	tests := []struct {
+		msg  Message
+		want int
+	}{
+		{Message{Kind: KindM}, 4},
+		{Message{Kind: KindHello, Informed: true}, 4},
+		{Message{Kind: KindProbe, Payload: 1}, 5},
+		{Message{Kind: KindProbe, Payload: 1024}, 4 + 11},
+		{Message{Kind: KindUp, Values: []int64{0}}, 4 + 2},
+		{Message{Kind: KindDown, Values: []int64{3, 300}}, 4 + (1 + 2) + (1 + 9)},
+	}
+	for _, tc := range tests {
+		if got := tc.msg.SizeBits(); got != tc.want {
+			t.Errorf("SizeBits(%+v) = %d, want %d", tc.msg, got, tc.want)
+		}
+	}
+}

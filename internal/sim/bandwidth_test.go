@@ -1,0 +1,49 @@
+package sim
+
+import (
+	"testing"
+
+	"oraclesize/internal/graphgen"
+	"oraclesize/internal/scheme"
+)
+
+func TestMessageBitsBoundedForFlooding(t *testing.T) {
+	// Flooding messages carry no payload: exactly 4 bits each, so the
+	// bounded-message property of §1.3 is visible as a fixed ratio.
+	g := mustGraph(t)(graphgen.Grid(6, 6))
+	res, err := Run(g, 0, flooding(), nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MessageBits != 4*res.Messages {
+		t.Errorf("MessageBits = %d, want 4·%d", res.MessageBits, res.Messages)
+	}
+}
+
+func TestMaxNodeSends(t *testing.T) {
+	// On a star with the center as source, flooding makes the center send
+	// deg(center) messages and each leaf none.
+	g := mustGraph(t)(graphgen.Star(10))
+	res, err := Run(g, 0, flooding(), nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxNodeSends != 9 {
+		t.Errorf("MaxNodeSends = %d, want 9", res.MaxNodeSends)
+	}
+}
+
+func TestMessageSizeBits(t *testing.T) {
+	plain := scheme.Message{Kind: scheme.KindM}
+	if plain.SizeBits() != 4 {
+		t.Errorf("plain message = %d bits", plain.SizeBits())
+	}
+	withPayload := scheme.Message{Kind: scheme.KindProbe, Payload: 255}
+	if withPayload.SizeBits() != 4+8 {
+		t.Errorf("payload message = %d bits", withPayload.SizeBits())
+	}
+	withValues := scheme.Message{Kind: scheme.KindUp, Values: []int64{1, 255}}
+	if withValues.SizeBits() != 4+(1+1)+(1+8) {
+		t.Errorf("values message = %d bits", withValues.SizeBits())
+	}
+}

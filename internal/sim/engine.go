@@ -1,0 +1,213 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"oraclesize/internal/bitstring"
+	"oraclesize/internal/graph"
+	"oraclesize/internal/scheme"
+	"oraclesize/internal/trace"
+)
+
+// ErrMessageBudget is returned when a run exceeds its message cap — the
+// symptom of a non-terminating or super-linear scheme.
+var ErrMessageBudget = errors.New("sim: message budget exceeded")
+
+// ErrWakeupViolation is returned when a run with EnforceWakeup set observes
+// a non-source node transmitting before its first delivery.
+var ErrWakeupViolation = errors.New("sim: wakeup legality violated")
+
+// Advice maps each node to its oracle string. Missing nodes read as the
+// empty string, matching the paper's convention that f(v) may be empty.
+type Advice map[graph.NodeID]bitstring.String
+
+// SizeBits reports the oracle size: the total number of advice bits over
+// all nodes (the paper's size measure).
+func (a Advice) SizeBits() int {
+	total := 0
+	for _, s := range a {
+		total += s.Len()
+	}
+	return total
+}
+
+// Options configures a simulation run.
+type Options struct {
+	// Scheduler orders deliveries; nil means FIFO (synchronous).
+	Scheduler Scheduler
+	// MaxMessages caps total sends; 0 means 64·(m+n)+1024, a generous
+	// multiple of any linear-message scheme.
+	MaxMessages int
+	// EnforceWakeup makes the run fail with ErrWakeupViolation if a
+	// non-source node transmits before being woken.
+	EnforceWakeup bool
+	// Recorder, if non-nil, receives the full event trace.
+	Recorder *trace.Recorder
+	// RetainNodes keeps the node automata in Result.Nodes so callers can
+	// inspect final states (e.g. gossip checks the learned value sets).
+	RetainNodes bool
+}
+
+// Result summarizes a completed run.
+type Result struct {
+	// Messages is the total number of sends (the paper's message
+	// complexity).
+	Messages int
+	// ByKind breaks Messages down per message kind.
+	ByKind map[scheme.Kind]int
+	// Informed[v] reports whether v got the source message.
+	Informed []bool
+	// AllInformed reports whether the dissemination completed.
+	AllInformed bool
+	// Deliveries counts delivered messages (equals Messages when the run
+	// drains its queue).
+	Deliveries int
+	// Rounds is the logical completion time: the largest send time among
+	// delivered messages, where a message sent in reaction to a time-t
+	// delivery has time t+1 and spontaneous sends have time 1.
+	Rounds int
+	// Nodes holds the final automata when Options.RetainNodes is set.
+	Nodes []scheme.Node
+	// MessageBits totals scheme.Message.SizeBits over all sends: the
+	// bandwidth cost. Bounded-message schemes (the paper's constructions)
+	// keep MessageBits/Messages constant; gossip does not.
+	MessageBits int
+	// MaxNodeSends is the largest number of messages emitted by a single
+	// node — the per-node load.
+	MaxNodeSends int
+}
+
+// Run executes algo on g from the given source under the advice assignment,
+// delivering messages in the order chosen by the scheduler, until no message
+// is in flight. It returns the run summary, or an error if the message
+// budget is exhausted or wakeup legality is violated.
+func Run(g *graph.Graph, source graph.NodeID, algo scheme.Algorithm, advice Advice, opts Options) (*Result, error) {
+	n := g.N()
+	if source < 0 || int(source) >= n {
+		return nil, fmt.Errorf("sim: source %d out of range [0,%d)", source, n)
+	}
+	sched := opts.Scheduler
+	if sched == nil {
+		sched = NewFIFO()
+	}
+	maxMessages := opts.MaxMessages
+	if maxMessages == 0 {
+		maxMessages = 64*(g.M()+n) + 1024
+	}
+
+	res := &Result{
+		ByKind:   make(map[scheme.Kind]int),
+		Informed: make([]bool, n),
+	}
+	res.Informed[source] = true
+
+	nodes := make([]scheme.Node, n)
+	delivered := make([]bool, n) // has v received anything yet
+	nodeTime := make([]int, n)   // logical time of v's latest knowledge
+	for v := 0; v < n; v++ {
+		nodes[v] = algo.NewNode(scheme.NodeInfo{
+			Advice: advice[graph.NodeID(v)],
+			Source: graph.NodeID(v) == source,
+			Label:  g.Label(graph.NodeID(v)),
+			Degree: g.Degree(graph.NodeID(v)),
+		})
+	}
+
+	seq := 0
+	nodeSends := make([]int, n)
+	emit := func(from graph.NodeID, sends []scheme.Send) error {
+		for _, s := range sends {
+			if s.Port < 0 || s.Port >= g.Degree(from) {
+				return fmt.Errorf("sim: node %d sent on invalid port %d (degree %d)", from, s.Port, g.Degree(from))
+			}
+			if opts.EnforceWakeup && from != source && !delivered[from] {
+				return fmt.Errorf("%w: node %d transmitted before being woken", ErrWakeupViolation, from)
+			}
+			if res.Messages >= maxMessages {
+				return fmt.Errorf("%w: more than %d messages", ErrMessageBudget, maxMessages)
+			}
+			msg := s.Msg
+			msg.Informed = res.Informed[from]
+			to, toPort := g.Neighbor(from, s.Port)
+			res.Messages++
+			res.ByKind[msg.Kind]++
+			res.MessageBits += msg.SizeBits()
+			nodeSends[from]++
+			if nodeSends[from] > res.MaxNodeSends {
+				res.MaxNodeSends = nodeSends[from]
+			}
+			opts.Recorder.Append(trace.Event{
+				Kind: trace.EventSend,
+				Node: from,
+				Peer: to,
+				Port: s.Port,
+				Msg:  msg,
+			})
+			sched.Push(pending{
+				To:   to,
+				From: from,
+				Port: toPort,
+				Msg:  msg,
+				Seq:  seq,
+				Time: nodeTime[from] + 1,
+			})
+			seq++
+		}
+		return nil
+	}
+
+	// Spontaneous phase: every node's Init runs before any delivery, as in
+	// the paper (schemes act on the empty history first).
+	for v := 0; v < n; v++ {
+		if err := emit(graph.NodeID(v), nodes[v].Init()); err != nil {
+			return nil, err
+		}
+	}
+
+	for {
+		p, ok := sched.Pop()
+		if !ok {
+			break
+		}
+		res.Deliveries++
+		if p.Time > res.Rounds {
+			res.Rounds = p.Time
+		}
+		delivered[p.To] = true
+		if p.Msg.Informed && !res.Informed[p.To] {
+			res.Informed[p.To] = true
+			opts.Recorder.Append(trace.Event{
+				Kind: trace.EventInformed,
+				Node: p.To,
+				Peer: -1,
+				Port: -1,
+			})
+		}
+		if p.Time > nodeTime[p.To] {
+			nodeTime[p.To] = p.Time
+		}
+		opts.Recorder.Append(trace.Event{
+			Kind: trace.EventDeliver,
+			Node: p.To,
+			Peer: p.From,
+			Port: p.Port,
+			Msg:  p.Msg,
+		})
+		if err := emit(p.To, nodes[p.To].Receive(p.Msg, p.Port)); err != nil {
+			return nil, err
+		}
+	}
+
+	res.AllInformed = true
+	for _, inf := range res.Informed {
+		if !inf {
+			res.AllInformed = false
+			break
+		}
+	}
+	if opts.RetainNodes {
+		res.Nodes = nodes
+	}
+	return res, nil
+}

@@ -1,0 +1,365 @@
+package sim
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"oraclesize/internal/bitstring"
+	"oraclesize/internal/graph"
+	"oraclesize/internal/graphgen"
+	"oraclesize/internal/scheme"
+	"oraclesize/internal/trace"
+)
+
+// floodNode implements flooding broadcast: the source sends M on all ports;
+// every node forwards M on all other ports the first time it is informed.
+type floodNode struct {
+	info     scheme.NodeInfo
+	informed bool
+}
+
+func (f *floodNode) Init() []scheme.Send {
+	if !f.info.Source {
+		return nil
+	}
+	f.informed = true
+	return sendOnAll(f.info.Degree, -1)
+}
+
+func (f *floodNode) Receive(msg scheme.Message, port int) []scheme.Send {
+	if !msg.Informed || f.informed {
+		return nil
+	}
+	f.informed = true
+	return sendOnAll(f.info.Degree, port)
+}
+
+func sendOnAll(degree, except int) []scheme.Send {
+	sends := make([]scheme.Send, 0, degree)
+	for p := 0; p < degree; p++ {
+		if p == except {
+			continue
+		}
+		sends = append(sends, scheme.Send{Port: p, Msg: scheme.Message{Kind: scheme.KindM}})
+	}
+	return sends
+}
+
+func flooding() scheme.Algorithm {
+	return scheme.Func{AlgoName: "flooding", New: func(info scheme.NodeInfo) scheme.Node {
+		return &floodNode{info: info}
+	}}
+}
+
+// silentNode never transmits; used to test non-completion reporting.
+type silentNode struct{}
+
+func (silentNode) Init() []scheme.Send                       { return nil }
+func (silentNode) Receive(scheme.Message, int) []scheme.Send { return nil }
+
+func silent() scheme.Algorithm {
+	return scheme.Func{AlgoName: "silent", New: func(scheme.NodeInfo) scheme.Node { return silentNode{} }}
+}
+
+// chattyNode spontaneously transmits at every node; used to test wakeup
+// legality enforcement.
+type chattyNode struct{ info scheme.NodeInfo }
+
+func (c *chattyNode) Init() []scheme.Send {
+	return sendOnAll(c.info.Degree, -1)
+}
+func (c *chattyNode) Receive(scheme.Message, int) []scheme.Send { return nil }
+
+func chatty() scheme.Algorithm {
+	return scheme.Func{AlgoName: "chatty", New: func(info scheme.NodeInfo) scheme.Node {
+		return &chattyNode{info: info}
+	}}
+}
+
+// pingPongNode answers every delivery with a reply on the same port — an
+// infinite loop used to test the message budget.
+type pingPongNode struct{ info scheme.NodeInfo }
+
+func (p *pingPongNode) Init() []scheme.Send {
+	if !p.info.Source {
+		return nil
+	}
+	return []scheme.Send{{Port: 0, Msg: scheme.Message{Kind: scheme.KindProbe}}}
+}
+func (p *pingPongNode) Receive(_ scheme.Message, port int) []scheme.Send {
+	return []scheme.Send{{Port: port, Msg: scheme.Message{Kind: scheme.KindProbe}}}
+}
+
+func pingPong() scheme.Algorithm {
+	return scheme.Func{AlgoName: "ping-pong", New: func(info scheme.NodeInfo) scheme.Node {
+		return &pingPongNode{info: info}
+	}}
+}
+
+func mustGraph(t *testing.T) func(*graph.Graph, error) *graph.Graph {
+	t.Helper()
+	return func(g *graph.Graph, err error) *graph.Graph {
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+}
+
+func TestFloodingInformsEveryone(t *testing.T) {
+	g := mustGraph(t)(graphgen.Grid(6, 6))
+	res, err := Run(g, 0, flooding(), nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllInformed {
+		t.Error("flooding did not inform all nodes")
+	}
+	// Flooding sends at most one M per port direction: <= 2m messages, and
+	// at least m (every edge carries at least one).
+	if res.Messages > 2*g.M() || res.Messages < g.M() {
+		t.Errorf("flooding messages = %d, m = %d", res.Messages, g.M())
+	}
+	if res.ByKind[scheme.KindM] != res.Messages {
+		t.Errorf("ByKind accounting broken: %v vs total %d", res.ByKind, res.Messages)
+	}
+	if res.Deliveries != res.Messages {
+		t.Errorf("Deliveries = %d, Messages = %d", res.Deliveries, res.Messages)
+	}
+}
+
+func TestFloodingRoundsMatchEccentricity(t *testing.T) {
+	// Under the FIFO (synchronous) scheduler, flooding completes in
+	// ecc(source) rounds.
+	g := mustGraph(t)(graphgen.Path(10))
+	res, err := Run(g, 0, flooding(), nil, Options{Scheduler: NewFIFO()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := g.Eccentricity(0); res.Rounds != want {
+		t.Errorf("Rounds = %d, want eccentricity %d", res.Rounds, want)
+	}
+}
+
+func TestSilentDoesNotComplete(t *testing.T) {
+	g := mustGraph(t)(graphgen.Path(4))
+	res, err := Run(g, 0, silent(), nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AllInformed {
+		t.Error("silent run reported completion")
+	}
+	if res.Messages != 0 {
+		t.Errorf("silent run sent %d messages", res.Messages)
+	}
+	if !res.Informed[0] || res.Informed[1] {
+		t.Error("informed flags wrong")
+	}
+}
+
+func TestWakeupLegalityEnforced(t *testing.T) {
+	g := mustGraph(t)(graphgen.Cycle(5))
+	_, err := Run(g, 0, chatty(), nil, Options{EnforceWakeup: true})
+	if !errors.Is(err, ErrWakeupViolation) {
+		t.Errorf("err = %v, want ErrWakeupViolation", err)
+	}
+	// The same algorithm is legal as a broadcast.
+	if _, err := Run(g, 0, chatty(), nil, Options{}); err != nil {
+		t.Errorf("broadcast-mode run failed: %v", err)
+	}
+	// Flooding is a legal wakeup (only informed nodes transmit).
+	if _, err := Run(g, 0, flooding(), nil, Options{EnforceWakeup: true}); err != nil {
+		t.Errorf("flooding as wakeup failed: %v", err)
+	}
+}
+
+func TestMessageBudget(t *testing.T) {
+	g := mustGraph(t)(graphgen.Path(2))
+	_, err := Run(g, 0, pingPong(), nil, Options{MaxMessages: 100})
+	if !errors.Is(err, ErrMessageBudget) {
+		t.Errorf("err = %v, want ErrMessageBudget", err)
+	}
+}
+
+func TestInvalidPortRejected(t *testing.T) {
+	g := mustGraph(t)(graphgen.Path(3))
+	bad := scheme.Func{AlgoName: "bad-port", New: func(info scheme.NodeInfo) scheme.Node {
+		return &chattyBadPort{info: info}
+	}}
+	if _, err := Run(g, 0, bad, nil, Options{}); err == nil {
+		t.Error("invalid port accepted")
+	}
+}
+
+type chattyBadPort struct{ info scheme.NodeInfo }
+
+func (c *chattyBadPort) Init() []scheme.Send {
+	if !c.info.Source {
+		return nil
+	}
+	return []scheme.Send{{Port: c.info.Degree, Msg: scheme.Message{Kind: scheme.KindProbe}}}
+}
+func (c *chattyBadPort) Receive(scheme.Message, int) []scheme.Send { return nil }
+
+func TestInvalidSourceRejected(t *testing.T) {
+	g := mustGraph(t)(graphgen.Path(3))
+	if _, err := Run(g, 7, flooding(), nil, Options{}); err == nil {
+		t.Error("out-of-range source accepted")
+	}
+	if _, err := RunConcurrent(g, -1, flooding(), nil, 0); err == nil {
+		t.Error("concurrent out-of-range source accepted")
+	}
+}
+
+func TestSchedulersAllCompleteFlooding(t *testing.T) {
+	g := mustGraph(t)(graphgen.RandomConnected(40, 90, rand.New(rand.NewSource(13))))
+	for name, factory := range Schedulers(99) {
+		res, err := Run(g, 0, flooding(), nil, Options{Scheduler: factory()})
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if !res.AllInformed {
+			t.Errorf("%s: incomplete", name)
+		}
+		if res.Messages > 2*g.M() {
+			t.Errorf("%s: %d messages > 2m", name, res.Messages)
+		}
+	}
+}
+
+func TestTraceRecording(t *testing.T) {
+	g := mustGraph(t)(graphgen.Path(4))
+	rec := &trace.Recorder{}
+	res, err := Run(g, 0, flooding(), nil, Options{Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := rec.Events()
+	sends := 0
+	informs := 0
+	for _, e := range events {
+		switch e.Kind {
+		case trace.EventSend:
+			sends++
+		case trace.EventInformed:
+			informs++
+		}
+	}
+	if sends != res.Messages {
+		t.Errorf("trace sends %d != messages %d", sends, res.Messages)
+	}
+	if informs != g.N()-1 {
+		t.Errorf("trace informs %d, want %d", informs, g.N()-1)
+	}
+	if err := trace.CheckWakeupLegality(events, 0); err != nil {
+		t.Errorf("flooding trace: %v", err)
+	}
+}
+
+func TestSchedulerPrimitives(t *testing.T) {
+	mk := func(i int) pending { return pending{Seq: i} }
+	t.Run("fifo", func(t *testing.T) {
+		s := NewFIFO()
+		for i := 0; i < 5; i++ {
+			s.Push(mk(i))
+		}
+		if s.Len() != 5 {
+			t.Fatalf("Len = %d", s.Len())
+		}
+		for i := 0; i < 5; i++ {
+			p, ok := s.Pop()
+			if !ok || p.Seq != i {
+				t.Fatalf("pop %d: %v %v", i, p.Seq, ok)
+			}
+		}
+		if _, ok := s.Pop(); ok {
+			t.Error("pop from empty succeeded")
+		}
+	})
+	t.Run("lifo", func(t *testing.T) {
+		s := NewLIFO()
+		for i := 0; i < 5; i++ {
+			s.Push(mk(i))
+		}
+		for i := 4; i >= 0; i-- {
+			p, ok := s.Pop()
+			if !ok || p.Seq != i {
+				t.Fatalf("pop: %v %v, want %d", p.Seq, ok, i)
+			}
+		}
+	})
+	t.Run("random", func(t *testing.T) {
+		s := NewRandom(1)
+		seen := make(map[int]bool)
+		for i := 0; i < 20; i++ {
+			s.Push(mk(i))
+		}
+		for i := 0; i < 20; i++ {
+			p, ok := s.Pop()
+			if !ok || seen[p.Seq] {
+				t.Fatalf("duplicate or missing pop: %v %v", p.Seq, ok)
+			}
+			seen[p.Seq] = true
+		}
+		if s.Len() != 0 {
+			t.Errorf("Len = %d after draining", s.Len())
+		}
+	})
+}
+
+func TestAdviceSizeBits(t *testing.T) {
+	var a Advice
+	if a.SizeBits() != 0 {
+		t.Error("nil advice has nonzero size")
+	}
+	a = Advice{
+		0: bitstring.FromBits(1, 0, 1),
+		1: bitstring.String{}, // empty advice contributes zero bits
+		2: bitstring.FromBits(1),
+	}
+	if got := a.SizeBits(); got != 4 {
+		t.Errorf("SizeBits = %d, want 4", got)
+	}
+}
+
+func BenchmarkSequentialFlooding(b *testing.B) {
+	g, err := graphgen.RandomConnected(256, 1024, rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(g, 0, flooding(), nil, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.AllInformed {
+			b.Fatal("incomplete")
+		}
+	}
+}
+
+func TestSingleNodeRun(t *testing.T) {
+	b := graph.NewBuilder(1)
+	g, err := b.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(g, 0, silent(), nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllInformed || res.Messages != 0 {
+		t.Errorf("single node: %+v", res)
+	}
+	cres, err := RunConcurrent(g, 0, silent(), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cres.AllInformed {
+		t.Error("concurrent single node incomplete")
+	}
+}

@@ -1,0 +1,152 @@
+// Package sim executes communication schemes on labeled port-numbered
+// networks. It provides two engines over the same scheme.Algorithm
+// contract:
+//
+//   - a deterministic sequential engine (Run) with pluggable delivery
+//     schedulers modeling synchrony, FIFO links, and adversarial
+//     asynchrony, used for reproducible message counting; and
+//   - a concurrent engine (RunConcurrent) with one goroutine per node,
+//     exercising the constructions under real interleaving.
+//
+// Message complexity in the paper counts transmissions; both engines count
+// every Send emitted by an automaton.
+package sim
+
+import (
+	"math/rand"
+
+	"oraclesize/internal/graph"
+	"oraclesize/internal/scheme"
+)
+
+// pending is an undelivered message in flight toward To on its local port.
+type pending struct {
+	To   graph.NodeID
+	From graph.NodeID
+	Port int // arrival port at To
+	Msg  scheme.Message
+	Seq  int // send order, for deterministic tie-breaking
+	Time int // logical send time: sender's wake time + 1
+}
+
+// Scheduler decides the delivery order of in-flight messages. Schedulers
+// are single-run objects; NewScheduler-style factories hand a fresh one to
+// each run.
+type Scheduler interface {
+	// Name identifies the scheduler in experiment tables.
+	Name() string
+	// Push adds an in-flight message.
+	Push(p pending)
+	// Pop removes and returns the next message to deliver.
+	Pop() (pending, bool)
+	// Len reports the number of in-flight messages.
+	Len() int
+}
+
+// fifoScheduler delivers messages in send order: this realizes the fully
+// synchronous execution (all round-t messages are delivered before any
+// round-t+1 message is sent) and is the engine default.
+type fifoScheduler struct {
+	queue []pending
+	head  int
+}
+
+// NewFIFO returns the synchronous/FIFO scheduler.
+func NewFIFO() Scheduler { return &fifoScheduler{} }
+
+func (s *fifoScheduler) Name() string { return "fifo" }
+
+func (s *fifoScheduler) Push(p pending) { s.queue = append(s.queue, p) }
+
+func (s *fifoScheduler) Pop() (pending, bool) {
+	if s.head >= len(s.queue) {
+		return pending{}, false
+	}
+	p := s.queue[s.head]
+	s.queue[s.head] = pending{} // release references
+	s.head++
+	switch {
+	case s.head == len(s.queue):
+		s.queue = s.queue[:0]
+		s.head = 0
+	case s.head > 1024 && s.head > len(s.queue)/2:
+		// Compact so long runs (millions of messages) don't retain the
+		// entire consumed prefix.
+		n := copy(s.queue, s.queue[s.head:])
+		s.queue = s.queue[:n]
+		s.head = 0
+	}
+	return p, true
+}
+
+func (s *fifoScheduler) Len() int { return len(s.queue) - s.head }
+
+// lifoScheduler delivers the most recently sent message first — a maximally
+// depth-first asynchronous adversary.
+type lifoScheduler struct {
+	stack []pending
+}
+
+// NewLIFO returns the depth-first adversarial scheduler.
+func NewLIFO() Scheduler { return &lifoScheduler{} }
+
+func (s *lifoScheduler) Name() string { return "lifo" }
+
+func (s *lifoScheduler) Push(p pending) { s.stack = append(s.stack, p) }
+
+func (s *lifoScheduler) Pop() (pending, bool) {
+	if len(s.stack) == 0 {
+		return pending{}, false
+	}
+	p := s.stack[len(s.stack)-1]
+	s.stack[len(s.stack)-1] = pending{}
+	s.stack = s.stack[:len(s.stack)-1]
+	return p, true
+}
+
+func (s *lifoScheduler) Len() int { return len(s.stack) }
+
+// randomScheduler delivers a uniformly random in-flight message, seeded for
+// reproducibility.
+type randomScheduler struct {
+	rng  *rand.Rand
+	heap []pending
+}
+
+// NewRandom returns a seeded random-order scheduler.
+func NewRandom(seed int64) Scheduler {
+	return &randomScheduler{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (s *randomScheduler) Name() string { return "random" }
+
+func (s *randomScheduler) Push(p pending) { s.heap = append(s.heap, p) }
+
+func (s *randomScheduler) Pop() (pending, bool) {
+	if len(s.heap) == 0 {
+		return pending{}, false
+	}
+	i := s.rng.Intn(len(s.heap))
+	p := s.heap[i]
+	last := len(s.heap) - 1
+	s.heap[i] = s.heap[last]
+	s.heap[last] = pending{}
+	s.heap = s.heap[:last]
+	return p, true
+}
+
+func (s *randomScheduler) Len() int { return len(s.heap) }
+
+// SchedulerFactory builds a fresh scheduler per run.
+type SchedulerFactory func() Scheduler
+
+// Schedulers returns the named scheduler factories used in experiment
+// sweeps. Random schedulers derive their seed from the provided base seed.
+func Schedulers(seed int64) map[string]SchedulerFactory {
+	return map[string]SchedulerFactory{
+		"fifo":   NewFIFO,
+		"lifo":   NewLIFO,
+		"random": func() Scheduler { return NewRandom(seed) },
+		"delay":  func() Scheduler { return NewDelay(seed, 16) },
+	}
+}

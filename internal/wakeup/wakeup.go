@@ -1,0 +1,229 @@
+// Package wakeup implements the paper's Theorem 2.1: an oracle of size
+// n·ceil(log n) + O(n·log log n) bits that lets an anonymous, asynchronous
+// network perform wakeup with exactly n-1 messages.
+//
+// The oracle fixes a spanning tree T of the network rooted at the source and
+// tells every internal node which of its ports lead to its children in T.
+// The advice string at a node v with c(v) children is the paper's
+// self-delimiting header β — the binary representation of the field width,
+// every bit doubled, terminated by "10" — followed by the c(v) child port
+// numbers in fixed-width fields. A woken node simply forwards the source
+// message on all its child ports, so each tree edge carries exactly one
+// message.
+//
+// The package also provides a budget-truncated variant of the oracle (nodes
+// beyond the bit budget receive no advice and must flood), the full-map
+// oracle consumer, and the zero-advice flooding baseline, which together
+// populate the knowledge/communication trade-off experiments.
+package wakeup
+
+import (
+	"fmt"
+
+	"oraclesize/internal/bitstring"
+	"oraclesize/internal/graph"
+	"oraclesize/internal/oracle"
+	"oraclesize/internal/scheme"
+	"oraclesize/internal/sim"
+	"oraclesize/internal/spantree"
+)
+
+// TreeKind selects the spanning tree used by the oracle. The paper uses
+// "any spanning tree"; exposing the choice lets experiments compare.
+type TreeKind uint8
+
+// Spanning tree choices for Oracle.
+const (
+	// TreeBFS uses a breadth-first tree (default).
+	TreeBFS TreeKind = iota
+	// TreeDFS uses a depth-first tree.
+	TreeDFS
+	// TreeLight uses the broadcast construction's light tree (Claim 3.1),
+	// which shrinks the fixed-width fields on many graphs.
+	TreeLight
+)
+
+// Oracle is the Theorem 2.1 wakeup oracle.
+type Oracle struct {
+	// Tree selects the spanning tree construction; zero value is BFS.
+	Tree TreeKind
+}
+
+// Name implements oracle.Oracle.
+func (o Oracle) Name() string { return "wakeup-tree" }
+
+// Advise implements oracle.Oracle: it encodes, for every internal node of
+// the chosen spanning tree, the ports leading to its children.
+func (o Oracle) Advise(g *graph.Graph, source graph.NodeID) (sim.Advice, error) {
+	tree, err := o.buildTree(g, source)
+	if err != nil {
+		return nil, err
+	}
+	// Port numbers are < n; the paper uses exactly ceil(log n)-bit fields.
+	width := oracle.FieldWidth(g.N())
+	advice := make(sim.Advice, g.N())
+	for v := graph.NodeID(0); int(v) < g.N(); v++ {
+		kids := tree.Children(v)
+		if len(kids) == 0 {
+			continue // leaves get the empty string
+		}
+		advice[v] = encodeChildPorts(kids, width)
+	}
+	return advice, nil
+}
+
+func (o Oracle) buildTree(g *graph.Graph, source graph.NodeID) (*spantree.Tree, error) {
+	switch o.Tree {
+	case TreeBFS:
+		return spantree.BFS(g, source)
+	case TreeDFS:
+		return spantree.DFS(g, source)
+	case TreeLight:
+		edges, err := spantree.Light(g)
+		if err != nil {
+			return nil, err
+		}
+		return spantree.Rooted(g, edges, source)
+	default:
+		return nil, fmt.Errorf("wakeup: unknown tree kind %d", o.Tree)
+	}
+}
+
+// encodeChildPorts produces β(width) followed by each child port in a
+// fixed-width field. The paper emits α then β and parses from the rear;
+// emitting β first is stream-decodable and has the same length (DESIGN.md).
+func encodeChildPorts(kids []spantree.Child, width int) bitstring.String {
+	var w bitstring.Writer
+	w.AppendDoubled(uint64(width))
+	for _, c := range kids {
+		w.WriteFixed(uint64(c.Port), width)
+	}
+	return w.String()
+}
+
+// DecodeChildPorts parses an advice string back into the list of child
+// ports. An empty string decodes to no children (a leaf).
+func DecodeChildPorts(s bitstring.String) ([]int, error) {
+	if s.Empty() {
+		return nil, nil
+	}
+	r := bitstring.NewReader(s)
+	width64, err := r.ReadDoubled()
+	if err != nil {
+		return nil, fmt.Errorf("wakeup: decoding header: %w", err)
+	}
+	width := int(width64)
+	if width <= 0 || width > 62 {
+		return nil, fmt.Errorf("wakeup: invalid field width %d", width)
+	}
+	if r.Remaining()%width != 0 {
+		return nil, fmt.Errorf("wakeup: %d payload bits not divisible by width %d", r.Remaining(), width)
+	}
+	ports := make([]int, 0, r.Remaining()/width)
+	for r.Remaining() > 0 {
+		p, err := r.ReadFixed(width)
+		if err != nil {
+			return nil, fmt.Errorf("wakeup: decoding port: %w", err)
+		}
+		ports = append(ports, int(p))
+	}
+	return ports, nil
+}
+
+// Algorithm is the Theorem 2.1 wakeup scheme: the source spontaneously
+// sends the message on all its advised child ports; every other node, on
+// first being woken, forwards it on its advised child ports. Exactly one
+// message crosses every tree edge: n-1 messages in total. The scheme is
+// anonymous (labels are never read) and asynchronous-safe.
+type Algorithm struct{}
+
+// Name implements scheme.Algorithm.
+func (Algorithm) Name() string { return "wakeup-tree" }
+
+// NewNode implements scheme.Algorithm.
+func (Algorithm) NewNode(info scheme.NodeInfo) scheme.Node {
+	return &node{info: info}
+}
+
+type node struct {
+	info  scheme.NodeInfo
+	awake bool
+}
+
+func (nd *node) Init() []scheme.Send {
+	if !nd.info.Source {
+		return nil // the defining wakeup constraint
+	}
+	nd.awake = true
+	return nd.forward()
+}
+
+func (nd *node) Receive(msg scheme.Message, _ int) []scheme.Send {
+	if nd.awake || !msg.Informed {
+		return nil
+	}
+	nd.awake = true
+	return nd.forward()
+}
+
+func (nd *node) forward() []scheme.Send {
+	ports, err := DecodeChildPorts(nd.info.Advice)
+	if err != nil {
+		// A scheme has no error channel; malformed advice means a buggy
+		// oracle pairing, surfaced as a stalled (incomplete) run.
+		return nil
+	}
+	sends := make([]scheme.Send, 0, len(ports))
+	for _, p := range ports {
+		if p < 0 || p >= nd.info.Degree {
+			continue
+		}
+		sends = append(sends, scheme.Send{Port: p, Msg: scheme.Message{Kind: scheme.KindM}})
+	}
+	return sends
+}
+
+// Flooding is the zero-advice wakeup baseline: the source floods, and every
+// node forwards on all other ports when first woken. Legal as a wakeup
+// (silent until woken) and complete, but costs up to 2m messages.
+type Flooding struct{}
+
+// Name implements scheme.Algorithm.
+func (Flooding) Name() string { return "wakeup-flooding" }
+
+// NewNode implements scheme.Algorithm.
+func (Flooding) NewNode(info scheme.NodeInfo) scheme.Node {
+	return &floodNode{info: info}
+}
+
+type floodNode struct {
+	info  scheme.NodeInfo
+	awake bool
+}
+
+func (nd *floodNode) Init() []scheme.Send {
+	if !nd.info.Source {
+		return nil
+	}
+	nd.awake = true
+	return floodSends(nd.info.Degree, -1)
+}
+
+func (nd *floodNode) Receive(msg scheme.Message, port int) []scheme.Send {
+	if nd.awake || !msg.Informed {
+		return nil
+	}
+	nd.awake = true
+	return floodSends(nd.info.Degree, port)
+}
+
+func floodSends(degree, except int) []scheme.Send {
+	sends := make([]scheme.Send, 0, degree)
+	for p := 0; p < degree; p++ {
+		if p == except {
+			continue
+		}
+		sends = append(sends, scheme.Send{Port: p, Msg: scheme.Message{Kind: scheme.KindM}})
+	}
+	return sends
+}
