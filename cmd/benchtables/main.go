@@ -10,9 +10,9 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"sync"
 	"time"
 
+	"oraclesize/internal/campaign"
 	"oraclesize/internal/experiments"
 )
 
@@ -29,6 +29,7 @@ func run(args []string, out, errOut io.Writer) int {
 		seed     = fs.Int64("seed", 1, "random seed")
 		format   = fs.String("format", "text", "output format: text | markdown")
 		parallel = fs.Bool("parallel", false, "run experiments concurrently (same output order)")
+		workers  = fs.Int("workers", 0, "worker pool size for -parallel (0 = GOMAXPROCS)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -61,15 +62,12 @@ func run(args []string, out, errOut io.Writer) int {
 		results[i] = outcome{table: table, err: err, elapsed: time.Since(start)}
 	}
 	if *parallel {
-		var wg sync.WaitGroup
-		for i := range runners {
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				runOne(i)
-			}(i)
-		}
-		wg.Wait()
+		// The campaign pool is the one scheduler shared with cmd/campaign;
+		// per-runner errors stay in results, so fn never fails.
+		_ = campaign.Pool{Workers: *workers}.Run(len(runners), func(i int) error {
+			runOne(i)
+			return nil
+		})
 	} else {
 		for i := range runners {
 			runOne(i)

@@ -1,0 +1,259 @@
+// Command campaign runs declarative experiment sweeps on a bounded worker
+// pool and streams results as JSONL (see internal/campaign).
+//
+//	campaign run      -quick | -spec spec.json  [-out r.jsonl] [-workers N] [-seed S]
+//	campaign resume   -out r.jsonl  [-quick | -spec spec.json] [-workers N] [-seed S]
+//	campaign summary  -in r.jsonl  [-baseline old.jsonl] [-format text|markdown]
+//	campaign validate -in r.jsonl
+//
+// "run" truncates -out (or writes to stdout); "resume" diffs -out against
+// the spec's unit list and completes exactly the missing units. Records
+// from the same spec and seed are byte-identical across runs apart from
+// the wall_ns field.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"oraclesize/internal/campaign"
+	"oraclesize/internal/experiments"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+const usage = `usage: campaign <run|resume|summary|validate> [flags]
+
+subcommands:
+  run       execute a campaign spec (use -quick for the built-in smoke grid)
+  resume    complete the units missing from an interrupted -out file
+  summary   aggregate a JSONL results file into tables, optionally vs -baseline
+  validate  check every JSONL record against the campaign record schema
+`
+
+func run(args []string, out, errOut io.Writer) int {
+	if len(args) == 0 {
+		fmt.Fprint(errOut, usage)
+		return 2
+	}
+	switch args[0] {
+	case "run":
+		return cmdRun(args[1:], false, out, errOut)
+	case "resume":
+		return cmdRun(args[1:], true, out, errOut)
+	case "summary":
+		return cmdSummary(args[1:], out, errOut)
+	case "validate":
+		return cmdValidate(args[1:], out, errOut)
+	default:
+		fmt.Fprintf(errOut, "campaign: unknown subcommand %q\n%s", args[0], usage)
+		return 2
+	}
+}
+
+// loadSpecArg resolves the spec from -spec/-quick/-seed flags.
+func loadSpecArg(specPath string, quick bool, seed int64, seedSet bool) (*campaign.Spec, error) {
+	var spec *campaign.Spec
+	switch {
+	case specPath != "":
+		s, err := campaign.LoadSpec(specPath)
+		if err != nil {
+			return nil, err
+		}
+		spec = s
+	case quick:
+		spec = campaign.QuickSpec()
+	default:
+		return nil, fmt.Errorf("campaign: need -spec file or -quick")
+	}
+	if seedSet {
+		spec.Seed = seed
+	}
+	return spec, nil
+}
+
+func cmdRun(args []string, resume bool, out, errOut io.Writer) int {
+	name := "run"
+	if resume {
+		name = "resume"
+	}
+	fs := flag.NewFlagSet("campaign "+name, flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	var (
+		specPath = fs.String("spec", "", "campaign spec file (JSON)")
+		quick    = fs.Bool("quick", false, "use the built-in quick smoke spec")
+		outPath  = fs.String("out", "", "results JSONL file (default stdout; required for resume)")
+		workers  = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		seed     = fs.Int64("seed", 0, "override the spec seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	seedSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "seed" {
+			seedSet = true
+		}
+	})
+	spec, err := loadSpecArg(*specPath, *quick, *seed, seedSet)
+	if err != nil {
+		fmt.Fprintln(errOut, err)
+		return 1
+	}
+
+	done := map[string]bool{}
+	var validLen int64
+	if resume {
+		if *outPath == "" {
+			fmt.Fprintln(errOut, "campaign: resume requires -out")
+			return 1
+		}
+		var recs []campaign.Record
+		var err error
+		done, recs, validLen, err = campaign.LoadDoneFile(*outPath)
+		if err != nil {
+			fmt.Fprintln(errOut, err)
+			return 1
+		}
+		if hash := spec.Hash(); len(recs) > 0 && recs[0].SpecHash != hash {
+			fmt.Fprintf(errOut, "campaign: %s was produced by spec %s, not %s — refusing to resume\n",
+				*outPath, recs[0].SpecHash, hash)
+			return 1
+		}
+	}
+
+	var sinkW io.Writer = out
+	if *outPath != "" {
+		f, err := os.OpenFile(*outPath, os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			fmt.Fprintln(errOut, err)
+			return 1
+		}
+		defer f.Close()
+		// Resume drops any torn final line before appending; a fresh run
+		// starts over.
+		if err := f.Truncate(validLen); err != nil {
+			fmt.Fprintln(errOut, err)
+			return 1
+		}
+		if _, err := f.Seek(validLen, io.SeekStart); err != nil {
+			fmt.Fprintln(errOut, err)
+			return 1
+		}
+		sinkW = f
+	}
+
+	start := time.Now()
+	stats, err := campaign.Run(spec, campaign.NewSink(sinkW), campaign.RunOptions{
+		Workers: *workers,
+		Done:    done,
+	})
+	if err != nil {
+		fmt.Fprintln(errOut, err)
+		return 1
+	}
+	fmt.Fprintf(errOut, "campaign %s %s: %d units (%d run, %d skipped), %d records, wall %v\n",
+		spec.Name, spec.Hash(), stats.Units, stats.Executed, stats.Skipped,
+		stats.Records, time.Since(start).Round(time.Millisecond))
+	return 0
+}
+
+func readRecords(path string, errOut io.Writer) ([]campaign.Record, bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(errOut, err)
+		return nil, false
+	}
+	defer f.Close()
+	recs, err := campaign.DecodeRecords(f)
+	if err != nil {
+		fmt.Fprintln(errOut, err)
+		return nil, false
+	}
+	return recs, true
+}
+
+func cmdSummary(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("campaign summary", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	var (
+		in       = fs.String("in", "", "results JSONL file")
+		baseline = fs.String("baseline", "", "baseline JSONL file for per-cell deltas")
+		format   = fs.String("format", "text", "output format: text | markdown")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *in == "" {
+		fmt.Fprintln(errOut, "campaign: summary requires -in")
+		return 1
+	}
+	if *format != "text" && *format != "markdown" {
+		fmt.Fprintf(errOut, "unknown format %q\n", *format)
+		return 1
+	}
+	current, ok := readRecords(*in, errOut)
+	if !ok {
+		return 1
+	}
+	var rendered []string
+	if *baseline != "" {
+		base, ok := readRecords(*baseline, errOut)
+		if !ok {
+			return 1
+		}
+		for _, t := range campaign.Summary(current, base) {
+			rendered = append(rendered, renderTable(t, *format))
+		}
+	} else {
+		for _, t := range campaign.Aggregate(current) {
+			rendered = append(rendered, renderTable(t, *format))
+		}
+	}
+	for _, s := range rendered {
+		fmt.Fprintln(out, s)
+	}
+	return 0
+}
+
+func renderTable(t *experiments.Table, format string) string {
+	if format == "markdown" {
+		return t.RenderMarkdown()
+	}
+	return t.Render()
+}
+
+func cmdValidate(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("campaign validate", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	in := fs.String("in", "", "results JSONL file")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *in == "" {
+		fmt.Fprintln(errOut, "campaign: validate requires -in")
+		return 1
+	}
+	recs, ok := readRecords(*in, errOut)
+	if !ok {
+		return 1
+	}
+	bad := 0
+	for i, r := range recs {
+		if err := r.Validate(); err != nil {
+			fmt.Fprintf(errOut, "record %d: %v\n", i+1, err)
+			bad++
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(errOut, "campaign: %d of %d records invalid\n", bad, len(recs))
+		return 1
+	}
+	fmt.Fprintf(out, "campaign: %d records valid\n", len(recs))
+	return 0
+}

@@ -1,0 +1,229 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var wallField = regexp.MustCompile(`"wall_ns":\d+`)
+
+func stripWall(s string) string {
+	return wallField.ReplaceAllString(s, `"wall_ns":0`)
+}
+
+func runCLI(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	code := run(args, &out, &errOut)
+	return out.String(), errOut.String(), code
+}
+
+func TestQuickRunEmitsValidCoveringJSONL(t *testing.T) {
+	out, errOut, code := runCLI(t, "run", "-quick", "-workers", "4")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	tasks := map[string]bool{}
+	families := map[string]bool{}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	for _, line := range lines {
+		var rec map[string]interface{}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("invalid JSONL line %q: %v", line, err)
+		}
+		tasks[rec["task"].(string)] = true
+		families[rec["family"].(string)] = true
+	}
+	if !tasks["wakeup"] || !tasks["broadcast"] {
+		t.Errorf("tasks covered: %v", tasks)
+	}
+	if len(families) < 2 {
+		t.Errorf("families covered: %v", families)
+	}
+	if !strings.Contains(errOut, "units") {
+		t.Errorf("missing run summary on stderr: %s", errOut)
+	}
+}
+
+func TestQuickRunDeterministic(t *testing.T) {
+	a, _, codeA := runCLI(t, "run", "-quick", "-workers", "4")
+	b, _, codeB := runCLI(t, "run", "-quick", "-workers", "2")
+	if codeA != 0 || codeB != 0 {
+		t.Fatalf("exits %d/%d", codeA, codeB)
+	}
+	if stripWall(a) != stripWall(b) {
+		t.Error("repeat quick runs differ (modulo wall_ns)")
+	}
+	c, _, _ := runCLI(t, "run", "-quick", "-seed", "42")
+	if stripWall(a) == stripWall(c) {
+		t.Error("-seed override had no effect")
+	}
+}
+
+func TestRunResumeRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.jsonl")
+	if _, errOut, code := runCLI(t, "run", "-quick", "-out", full); code != 0 {
+		t.Fatalf("run: %s", errOut)
+	}
+	data, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(data), "\n")
+
+	partial := filepath.Join(dir, "partial.jsonl")
+	if err := os.WriteFile(partial, []byte(strings.Join(lines[:9], "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, errOut, code := runCLI(t, "resume", "-quick", "-out", partial)
+	if code != 0 {
+		t.Fatalf("resume: %s", errOut)
+	}
+	if !strings.Contains(errOut, "9 skipped") {
+		t.Errorf("resume did not skip the 9 done units: %s", errOut)
+	}
+	resumed, err := os.ReadFile(partial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stripWall(string(resumed)) != stripWall(string(data)) {
+		t.Error("resumed file differs from uninterrupted run (modulo wall_ns)")
+	}
+}
+
+func TestResumeDropsTornFinalLine(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.jsonl")
+	if _, errOut, code := runCLI(t, "run", "-quick", "-out", full); code != 0 {
+		t.Fatalf("run: %s", errOut)
+	}
+	data, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(data), "\n")
+
+	// Simulated kill mid-write: 6 complete lines plus a torn seventh.
+	torn := filepath.Join(dir, "torn.jsonl")
+	if err := os.WriteFile(torn, []byte(strings.Join(lines[:6], "")+lines[6][:15]), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, errOut, code := runCLI(t, "resume", "-quick", "-out", torn)
+	if code != 0 {
+		t.Fatalf("resume: %s", errOut)
+	}
+	if !strings.Contains(errOut, "6 skipped") {
+		t.Errorf("torn unit not re-run: %s", errOut)
+	}
+	resumed, err := os.ReadFile(torn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stripWall(string(resumed)) != stripWall(string(data)) {
+		t.Error("resume after torn line differs from uninterrupted run")
+	}
+	if _, errOut, code := runCLI(t, "validate", "-in", torn); code != 0 {
+		t.Errorf("resumed file invalid: %s", errOut)
+	}
+}
+
+func TestResumeRefusesForeignSpec(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "r.jsonl")
+	if _, errOut, code := runCLI(t, "run", "-quick", "-out", out); code != 0 {
+		t.Fatalf("run: %s", errOut)
+	}
+	_, errOut, code := runCLI(t, "resume", "-quick", "-seed", "77", "-out", out)
+	if code != 1 || !strings.Contains(errOut, "refusing to resume") {
+		t.Errorf("exit %d, stderr: %s", code, errOut)
+	}
+}
+
+func TestSpecFileRun(t *testing.T) {
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "spec.json")
+	specJSON := `{"name":"mini","seed":3,"trials":1,"families":["path"],"sizes":[8],
+		"tasks":[{"task":"broadcast","schemes":["flooding"]}]}`
+	if err := os.WriteFile(spec, []byte(specJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, errOut, code := runCLI(t, "run", "-spec", spec)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	if n := strings.Count(out, "\n"); n != 1 {
+		t.Errorf("mini spec wrote %d records, want 1", n)
+	}
+}
+
+func TestSummaryAndValidate(t *testing.T) {
+	dir := t.TempDir()
+	cur := filepath.Join(dir, "cur.jsonl")
+	base := filepath.Join(dir, "base.jsonl")
+	for seed, path := range map[string]string{"1": cur, "5": base} {
+		if _, errOut, code := runCLI(t, "run", "-quick", "-seed", seed, "-out", path); code != 0 {
+			t.Fatalf("run -seed %s: %s", seed, errOut)
+		}
+	}
+
+	out, errOut, code := runCLI(t, "validate", "-in", cur)
+	if code != 0 || !strings.Contains(out, "records valid") {
+		t.Fatalf("validate: exit %d out=%q err=%q", code, out, errOut)
+	}
+
+	out, errOut, code = runCLI(t, "summary", "-in", cur)
+	if code != 0 || !strings.Contains(out, "campaign aggregate: wakeup") {
+		t.Fatalf("summary: exit %d err=%q\n%s", code, errOut, out)
+	}
+
+	out, _, code = runCLI(t, "summary", "-in", cur, "-baseline", base, "-format", "markdown")
+	if code != 0 || !strings.Contains(out, "campaign summary: wakeup") || !strings.Contains(out, "| --- |") {
+		t.Fatalf("summary -baseline markdown: exit %d\n%s", code, out)
+	}
+}
+
+func TestValidateRejectsCorruptRecords(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bad.jsonl")
+	bad := `{"spec_hash":"h","unit":"task/x","kind":"task","complete":true,"wall_ns":1}` + "\n"
+	if err := os.WriteFile(in, []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, errOut, code := runCLI(t, "validate", "-in", in)
+	if code != 1 || !strings.Contains(errOut, "invalid") {
+		t.Errorf("exit %d, stderr: %s", code, errOut)
+	}
+}
+
+func TestUsageAndFlagErrors(t *testing.T) {
+	if _, errOut, code := runCLI(t); code != 2 || !strings.Contains(errOut, "usage") {
+		t.Errorf("no args: exit %d, %s", code, errOut)
+	}
+	if _, _, code := runCLI(t, "launch"); code != 2 {
+		t.Errorf("unknown subcommand accepted")
+	}
+	if _, _, code := runCLI(t, "run", "-bogus"); code != 2 {
+		t.Errorf("bad flag accepted")
+	}
+	if _, errOut, code := runCLI(t, "run"); code != 1 || !strings.Contains(errOut, "-spec file or -quick") {
+		t.Errorf("run without spec: exit %d, %s", code, errOut)
+	}
+	if _, errOut, code := runCLI(t, "resume", "-quick"); code != 1 || !strings.Contains(errOut, "requires -out") {
+		t.Errorf("resume without out: exit %d, %s", code, errOut)
+	}
+	if _, _, code := runCLI(t, "summary"); code != 1 {
+		t.Errorf("summary without in accepted")
+	}
+	if _, _, code := runCLI(t, "summary", "-in", "x.jsonl", "-format", "pdf"); code != 1 {
+		t.Errorf("bad format accepted")
+	}
+	if _, _, code := runCLI(t, "validate"); code != 1 {
+		t.Errorf("validate without in accepted")
+	}
+}

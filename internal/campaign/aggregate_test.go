@@ -1,0 +1,110 @@
+package campaign
+
+import (
+	"strings"
+	"testing"
+)
+
+func taskRec(family string, n, trial, messages, advice int) Record {
+	return Record{
+		SpecHash: "h", Unit: "task/u", Kind: KindTask, Trial: trial,
+		Task: "wakeup", Scheme: "tree", Family: family,
+		N: n, Nodes: n, Edges: n - 1,
+		Messages: messages, AdviceBits: advice, Rounds: n - 1,
+		MessageBits: 4 * messages, Complete: true,
+	}
+}
+
+func TestAggregateMeansOverTrials(t *testing.T) {
+	recs := []Record{
+		taskRec("path", 16, 0, 15, 180),
+		taskRec("path", 16, 1, 17, 180),
+	}
+	tables := Aggregate(recs)
+	if len(tables) != 1 {
+		t.Fatalf("got %d tables, want 1", len(tables))
+	}
+	out := tables[0].Render()
+	// mean(15,17) = 16; trials column = 2
+	if !strings.Contains(out, "16.000") {
+		t.Errorf("mean messages missing:\n%s", out)
+	}
+	rows := tables[0].RowRecords()
+	if len(rows) != 1 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	if got := rows[0].Values["messages"]; got != 16 {
+		t.Errorf("mean messages = %v, want 16", got)
+	}
+	if got := rows[0].Values["trials"]; got != 2 {
+		t.Errorf("trials = %v, want 2", got)
+	}
+}
+
+func TestAggregateReplaysExperimentTables(t *testing.T) {
+	recs := []Record{
+		{
+			SpecHash: "h", Unit: "experiment/E5/t0", Kind: KindExperiment,
+			Experiment: "E5", Row: 1, Columns: []string{"n", "ratio"},
+			Cells: []string{"64", "1.5"}, Complete: true,
+		},
+		{
+			SpecHash: "h", Unit: "experiment/E5/t0", Kind: KindExperiment,
+			Experiment: "E5", Row: 0, Columns: []string{"n", "ratio"},
+			Cells: []string{"16", "2.8"}, Complete: true,
+		},
+	}
+	tables := Aggregate(recs)
+	if len(tables) != 1 {
+		t.Fatalf("got %d tables, want 1", len(tables))
+	}
+	out := tables[0].Render()
+	// Rows come back in recorded row order regardless of arrival order.
+	if !strings.Contains(out, "E5") || strings.Index(out, "2.8") > strings.Index(out, "1.5") {
+		t.Errorf("replay wrong:\n%s", out)
+	}
+}
+
+func TestSummaryDeltas(t *testing.T) {
+	base := []Record{taskRec("path", 16, 0, 15, 180)}
+	cur := []Record{
+		taskRec("path", 16, 0, 18, 170),
+		taskRec("grid", 16, 0, 20, 200),
+	}
+	tables := Summary(cur, base)
+	if len(tables) != 1 {
+		t.Fatalf("got %d tables, want 1", len(tables))
+	}
+	out := tables[0].Render()
+	for _, want := range []string{"+3", "-10", "new"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSummaryFlagsDroppedPoints(t *testing.T) {
+	base := []Record{
+		taskRec("path", 16, 0, 15, 180),
+		taskRec("grid", 16, 0, 22, 300),
+	}
+	cur := []Record{taskRec("path", 16, 0, 15, 180)}
+	out := Summary(cur, base)[0].Render()
+	if !strings.Contains(out, "dropped") {
+		t.Errorf("dropped baseline point not flagged:\n%s", out)
+	}
+	if !strings.Contains(out, "0") { // unchanged point shows zero delta
+		t.Errorf("zero delta missing:\n%s", out)
+	}
+}
+
+func TestSummaryWithoutBaselineEqualsAggregateShape(t *testing.T) {
+	cur := []Record{taskRec("path", 16, 0, 15, 180)}
+	tables := Summary(cur, nil)
+	if len(tables) != 1 {
+		t.Fatalf("got %d tables", len(tables))
+	}
+	if !strings.Contains(tables[0].Render(), "new") {
+		t.Error("points with no baseline should read as new")
+	}
+}

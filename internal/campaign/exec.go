@@ -1,0 +1,72 @@
+package campaign
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// RunOptions configure one campaign execution.
+type RunOptions struct {
+	// Workers caps pool concurrency; <= 0 selects GOMAXPROCS.
+	Workers int
+	// Done marks unit keys already present in the sink; those units are
+	// skipped (resume semantics). Nil means run everything.
+	Done map[string]bool
+	// Progress, if non-nil, is called after each unit flushes or is
+	// skipped, with the number of handled units and the total.
+	Progress func(done, total int)
+}
+
+// Stats summarizes a completed execution.
+type Stats struct {
+	// Units is the compiled unit count.
+	Units int
+	// Executed counts units actually run (Units minus skipped).
+	Executed int
+	// Skipped counts units satisfied by the existing sink.
+	Skipped int
+	// Records counts JSONL records written this execution.
+	Records int
+}
+
+// Run validates the spec, compiles its units, executes the ones not
+// already Done on a bounded pool, and streams records to the sink in unit
+// order. On error the sink still holds a valid prefix, so a later Run with
+// Done loaded from it completes exactly the missing units.
+func Run(spec *Spec, sink *Sink, opts RunOptions) (Stats, error) {
+	if err := spec.Validate(); err != nil {
+		return Stats{}, err
+	}
+	units := spec.Units()
+	specHash := spec.Hash()
+	var executed, skipped atomic.Int64
+	err := Pool{Workers: opts.Workers}.Run(len(units), func(i int) error {
+		u := units[i]
+		if opts.Done[u.Key()] {
+			skipped.Add(1)
+			if err := sink.Deposit(i, nil); err != nil {
+				return err
+			}
+		} else {
+			recs, err := runUnit(spec, specHash, u)
+			if err != nil {
+				return fmt.Errorf("campaign: unit %s: %w", u.Key(), err)
+			}
+			executed.Add(1)
+			if err := sink.Deposit(i, recs); err != nil {
+				return err
+			}
+		}
+		if opts.Progress != nil {
+			opts.Progress(sink.Flushed(), len(units))
+		}
+		return nil
+	})
+	stats := Stats{
+		Units:    len(units),
+		Executed: int(executed.Load()),
+		Skipped:  int(skipped.Load()),
+		Records:  sink.Written(),
+	}
+	return stats, err
+}

@@ -1,0 +1,67 @@
+package campaign
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a bounded worker pool over an integer index space. It is the one
+// scheduler shared by campaign executions and cmd/benchtables -parallel:
+// both fan their unit lists through Run.
+type Pool struct {
+	// Workers caps concurrency; <= 0 selects runtime.GOMAXPROCS(0).
+	Workers int
+}
+
+// Run invokes fn(0..n-1) from at most p.Workers goroutines. After the
+// first failure no new indices are handed out; in-flight calls finish.
+// The returned error is the failing call with the smallest index, so the
+// outcome is deterministic even though scheduling is not.
+func (p Pool) Run(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	var (
+		cursor   atomic.Int64
+		failed   atomic.Bool
+		mu       sync.Mutex
+		firstErr error
+		firstIdx int
+		wg       sync.WaitGroup
+	)
+	report := func(i int, err error) {
+		failed.Store(true)
+		mu.Lock()
+		if firstErr == nil || i < firstIdx {
+			firstErr, firstIdx = err, i
+		}
+		mu.Unlock()
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					report(i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

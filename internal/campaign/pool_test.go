@@ -1,0 +1,79 @@
+package campaign
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolRunsEveryIndexOnce(t *testing.T) {
+	const n = 500
+	var hits [n]atomic.Int32
+	err := Pool{Workers: 8}.Run(n, func(i int) error {
+		hits[i].Add(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i := range hits {
+		if got := hits[i].Load(); got != 1 {
+			t.Fatalf("index %d ran %d times", i, got)
+		}
+	}
+}
+
+func TestPoolZeroAndNegativeCounts(t *testing.T) {
+	ran := false
+	if err := (Pool{}).Run(0, func(int) error { ran = true; return nil }); err != nil || ran {
+		t.Errorf("n=0: err=%v ran=%v", err, ran)
+	}
+	if err := (Pool{}).Run(-3, func(int) error { ran = true; return nil }); err != nil || ran {
+		t.Errorf("n=-3: err=%v ran=%v", err, ran)
+	}
+}
+
+func TestPoolDefaultWorkers(t *testing.T) {
+	var count atomic.Int32
+	if err := (Pool{Workers: 0}).Run(17, func(int) error { count.Add(1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if count.Load() != 17 {
+		t.Errorf("ran %d of 17", count.Load())
+	}
+}
+
+func TestPoolReturnsSmallestIndexError(t *testing.T) {
+	boom3 := errors.New("boom 3")
+	err := Pool{Workers: 4}.Run(100, func(i int) error {
+		switch i {
+		case 3:
+			return boom3
+		case 40, 90:
+			return errors.New("late failure")
+		}
+		return nil
+	})
+	if !errors.Is(err, boom3) {
+		t.Errorf("got %v, want the index-3 error", err)
+	}
+}
+
+func TestPoolStopsSchedulingAfterFailure(t *testing.T) {
+	var ran atomic.Int32
+	err := Pool{Workers: 1}.Run(1000, func(i int) error {
+		ran.Add(1)
+		if i == 5 {
+			return errors.New("stop here")
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "stop here") {
+		t.Fatalf("err = %v", err)
+	}
+	// Single worker: exactly indices 0..5 run.
+	if got := ran.Load(); got != 6 {
+		t.Errorf("ran %d calls after failure at 5, want 6", got)
+	}
+}

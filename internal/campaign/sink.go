@@ -1,0 +1,141 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// Sink serializes records as JSONL in unit-index order. Units complete out
+// of order under the worker pool, so out-of-order batches are buffered and
+// flushed as soon as every lower-indexed unit has been deposited. This
+// makes the byte stream deterministic for a given spec and seed (apart
+// from wall-time fields) and means an interrupted sink always holds an
+// index-prefix of the unit list plus nothing torn mid-unit: each unit's
+// records are written with a single Write call.
+type Sink struct {
+	mu      sync.Mutex
+	w       io.Writer
+	next    int
+	pending map[int][]Record
+	flushed int
+	written int
+}
+
+// NewSink wraps w; the caller owns closing any underlying file.
+func NewSink(w io.Writer) *Sink {
+	return &Sink{w: w, pending: make(map[int][]Record)}
+}
+
+// Deposit hands the sink the records of unit index (nil for a unit skipped
+// on resume) and flushes every consecutive ready unit. Safe for concurrent
+// use by pool workers.
+func (s *Sink) Deposit(index int, recs []Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.pending[index]; dup || index < s.next {
+		return fmt.Errorf("campaign: sink: duplicate deposit for unit %d", index)
+	}
+	if recs == nil {
+		recs = []Record{}
+	}
+	s.pending[index] = recs
+	for {
+		batch, ok := s.pending[s.next]
+		if !ok {
+			return nil
+		}
+		delete(s.pending, s.next)
+		if len(batch) > 0 {
+			var buf []byte
+			var err error
+			for _, rec := range batch {
+				if buf, err = rec.encode(buf); err != nil {
+					return err
+				}
+			}
+			if _, err := s.w.Write(buf); err != nil {
+				return fmt.Errorf("campaign: sink: writing unit %d: %w", s.next, err)
+			}
+			s.written += len(batch)
+		}
+		s.next++
+		s.flushed++
+	}
+}
+
+// Flushed reports how many units have been written (or skipped) so far.
+func (s *Sink) Flushed() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flushed
+}
+
+// Written reports how many records have been written so far.
+func (s *Sink) Written() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.written
+}
+
+// LoadDone reads an existing results stream and returns the set of unit
+// keys already present plus the decoded records. A torn final line (from a
+// killed run) is tolerated: complete leading records are kept and the unit
+// owning the torn line is treated as not done, so resume re-runs it.
+func LoadDone(r io.Reader) (map[string]bool, []Record, error) {
+	recs, err := DecodeRecords(r)
+	if err != nil && len(recs) == 0 {
+		return nil, nil, err
+	}
+	done := make(map[string]bool, len(recs))
+	for _, rec := range recs {
+		done[rec.Unit] = true
+	}
+	return done, recs, nil
+}
+
+// LoadDoneFile is LoadDone over a file. It additionally returns the byte
+// length of the valid JSONL prefix: a resume must truncate the file to
+// that length before appending, or a torn final line from a killed run
+// would concatenate with the first appended record. A missing file reads
+// as empty.
+func LoadDoneFile(path string) (map[string]bool, []Record, int64, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return map[string]bool{}, nil, 0, nil
+	}
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("campaign: reading results: %w", err)
+	}
+	valid := validPrefixLen(data)
+	done, recs, err := LoadDone(bytes.NewReader(data[:valid]))
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return done, recs, valid, nil
+}
+
+// validPrefixLen returns the length of the longest prefix of data made of
+// complete, decodable JSONL records.
+func validPrefixLen(data []byte) int64 {
+	var offset int64
+	for len(data) > 0 {
+		nl := bytes.IndexByte(data, '\n')
+		if nl < 0 {
+			break // torn final line
+		}
+		line := data[:nl]
+		if len(line) > 0 {
+			var rec Record
+			if err := json.Unmarshal(line, &rec); err != nil {
+				break
+			}
+		}
+		offset += int64(nl + 1)
+		data = data[nl+1:]
+	}
+	return offset
+}

@@ -1,0 +1,189 @@
+package campaign
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"oraclesize/internal/broadcast"
+	"oraclesize/internal/experiments"
+	"oraclesize/internal/graphgen"
+	"oraclesize/internal/oracle"
+	"oraclesize/internal/scheme"
+	"oraclesize/internal/sim"
+	"oraclesize/internal/wakeup"
+)
+
+// pairing couples an oracle with the scheme that consumes its advice.
+type pairing struct {
+	oracle oracle.Oracle
+	algo   scheme.Algorithm
+}
+
+// taskDef is one registered task: its legality constraint plus the valid
+// oracle/scheme pairings.
+type taskDef struct {
+	name          string
+	enforceWakeup bool
+	schemes       map[string]pairing
+	schemeOrder   []string
+}
+
+func taskDefs() []taskDef {
+	return []taskDef{
+		{
+			name:          "wakeup",
+			enforceWakeup: true,
+			schemes: map[string]pairing{
+				"tree":     {oracle: wakeup.Oracle{}, algo: wakeup.Algorithm{}},
+				"flooding": {oracle: oracle.Empty{}, algo: wakeup.Flooding{}},
+			},
+			schemeOrder: []string{"tree", "flooding"},
+		},
+		{
+			name: "broadcast",
+			schemes: map[string]pairing{
+				"light-tree": {oracle: broadcast.Oracle{}, algo: broadcast.Algorithm{}},
+				"flooding":   {oracle: oracle.Empty{}, algo: broadcast.Flooding{}},
+			},
+			schemeOrder: []string{"light-tree", "flooding"},
+		},
+	}
+}
+
+func taskByName(name string) (taskDef, error) {
+	for _, td := range taskDefs() {
+		if td.name == name {
+			return td, nil
+		}
+	}
+	return taskDef{}, fmt.Errorf("campaign: unknown task %q", name)
+}
+
+// Tasks lists the registered task names.
+func Tasks() []string {
+	defs := taskDefs()
+	names := make([]string, len(defs))
+	for i, td := range defs {
+		names[i] = td.name
+	}
+	return names
+}
+
+// Schemes lists the registered scheme names for a task.
+func Schemes(task string) ([]string, error) {
+	td, err := taskByName(task)
+	if err != nil {
+		return nil, err
+	}
+	return td.schemeOrder, nil
+}
+
+// runUnit executes one unit and returns its records (one for task units,
+// one per table row for experiment units).
+func runUnit(s *Spec, specHash string, u Unit) ([]Record, error) {
+	switch u.Kind {
+	case KindTask:
+		rec, err := runTaskUnit(s, specHash, u)
+		if err != nil {
+			return nil, err
+		}
+		return []Record{rec}, nil
+	case KindExperiment:
+		return runExperimentUnit(s, specHash, u)
+	default:
+		return nil, fmt.Errorf("campaign: unknown unit kind %q", u.Kind)
+	}
+}
+
+func runTaskUnit(s *Spec, specHash string, u Unit) (Record, error) {
+	td, err := taskByName(u.Task)
+	if err != nil {
+		return Record{}, err
+	}
+	p, ok := td.schemes[u.Scheme]
+	if !ok {
+		return Record{}, fmt.Errorf("campaign: task %q has no scheme %q", u.Task, u.Scheme)
+	}
+	fam, err := graphgen.FamilyByName(u.Family)
+	if err != nil {
+		return Record{}, err
+	}
+	rng := rand.New(rand.NewSource(u.Seed))
+	g, err := fam.Generate(u.N, rng)
+	if err != nil {
+		return Record{}, fmt.Errorf("campaign: generating %s n=%d: %w", u.Family, u.N, err)
+	}
+	advice, err := p.oracle.Advise(g, 0)
+	if err != nil {
+		return Record{}, fmt.Errorf("campaign: advising %s/%s: %w", u.Task, u.Scheme, err)
+	}
+	start := time.Now()
+	res, err := sim.Run(g, 0, p.algo, advice, sim.Options{
+		EnforceWakeup: td.enforceWakeup,
+		MaxMessages:   s.MaxMessages,
+	})
+	if err != nil {
+		return Record{}, fmt.Errorf("campaign: running %s: %w", u.Key(), err)
+	}
+	return Record{
+		SpecHash:    specHash,
+		Unit:        u.Key(),
+		Kind:        KindTask,
+		Seed:        u.Seed,
+		Trial:       u.Trial,
+		Task:        u.Task,
+		Scheme:      u.Scheme,
+		Family:      u.Family,
+		N:           u.N,
+		Nodes:       g.N(),
+		Edges:       g.M(),
+		AdviceBits:  advice.SizeBits(),
+		Messages:    res.Messages,
+		MessageBits: res.MessageBits,
+		Rounds:      res.Rounds,
+		Complete:    res.AllInformed,
+		WallNS:      time.Since(start).Nanoseconds(),
+	}, nil
+}
+
+func runExperimentUnit(s *Spec, specHash string, u Unit) ([]Record, error) {
+	r, err := experiments.ByID(u.Experiment)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	tb, err := r.Run(experiments.Config{Seed: u.Seed, Quick: s.Quick})
+	if err != nil {
+		return nil, fmt.Errorf("campaign: experiment %s: %w", u.Experiment, err)
+	}
+	wall := time.Since(start).Nanoseconds()
+	rows := tb.RowRecords()
+	recs := make([]Record, len(rows))
+	for i, rr := range rows {
+		recs[i] = Record{
+			SpecHash:   specHash,
+			Unit:       u.Key(),
+			Kind:       KindExperiment,
+			Seed:       u.Seed,
+			Trial:      u.Trial,
+			Experiment: u.Experiment,
+			Row:        i,
+			Columns:    tb.Columns,
+			Cells:      cellTexts(tb.Records[i]),
+			Labels:     rr.Labels,
+			Values:     rr.Values,
+			Complete:   true,
+			WallNS:     wall, // whole-table wall time, repeated on each row
+		}
+	}
+	return recs, nil
+}
+
+func cellTexts(cells []experiments.Cell) []string {
+	texts := make([]string, len(cells))
+	for i, c := range cells {
+		texts[i] = c.Text
+	}
+	return texts
+}

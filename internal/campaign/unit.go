@@ -1,0 +1,92 @@
+package campaign
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// Unit kinds.
+const (
+	KindTask       = "task"       // one simulated trial of task×scheme×family×n
+	KindExperiment = "experiment" // one whole experiments.Runner table
+)
+
+// Unit is one schedulable unit of work. Units are identified by Key, which
+// is stable across runs of the same spec: resume diffs sink keys against
+// the compiled unit list.
+type Unit struct {
+	// Index is the unit's position in the compiled list; the sink emits
+	// records in Index order regardless of completion order.
+	Index int
+	// Kind is KindTask or KindExperiment.
+	Kind string
+	// Task, Scheme, Family, N and Trial locate a task unit in the grid.
+	Task   string
+	Scheme string
+	Family string
+	N      int
+	Trial  int
+	// Experiment is the registry ID for experiment units.
+	Experiment string
+	// Seed is the unit's private seed, derived from the spec seed and Key.
+	Seed int64
+}
+
+// Key returns the unit's stable identity within its spec.
+func (u Unit) Key() string {
+	if u.Kind == KindExperiment {
+		return fmt.Sprintf("experiment/%s/t%d", u.Experiment, u.Trial)
+	}
+	return fmt.Sprintf("task/%s/%s/%s/n%d/t%d", u.Task, u.Scheme, u.Family, u.N, u.Trial)
+}
+
+// unitSeed mixes the spec seed with the unit key so every unit draws from
+// an independent, reproducible stream.
+func unitSeed(specSeed int64, key string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	const golden = uint64(0x9E3779B97F4A7C15)
+	return int64(h.Sum64() ^ uint64(specSeed)*golden)
+}
+
+// Units compiles the spec into its deterministic unit list: tasks in spec
+// order, then families, sizes, schemes and trials; experiment replays
+// follow the grid. Callers must Validate the spec first.
+func (s *Spec) Units() []Unit {
+	var units []Unit
+	add := func(u Unit) {
+		u.Index = len(units)
+		u.Seed = unitSeed(s.Seed, u.Key())
+		units = append(units, u)
+	}
+	for _, ts := range s.Tasks {
+		schemes := ts.Schemes
+		if len(schemes) == 0 {
+			td, err := taskByName(ts.Task)
+			if err != nil {
+				continue // Validate rejects this spec; keep Units total
+			}
+			schemes = td.schemeOrder
+		}
+		for _, fname := range s.Families {
+			for _, n := range s.Sizes {
+				for _, sc := range schemes {
+					for trial := 0; trial < s.Trials; trial++ {
+						add(Unit{
+							Kind:   KindTask,
+							Task:   ts.Task,
+							Scheme: sc,
+							Family: fname,
+							N:      n,
+							Trial:  trial,
+						})
+					}
+				}
+			}
+		}
+	}
+	for _, id := range s.Experiments {
+		add(Unit{Kind: KindExperiment, Experiment: id})
+	}
+	return units
+}

@@ -7,7 +7,9 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
+	"strconv"
 	"strings"
 )
 
@@ -32,28 +34,90 @@ func (c Config) sizes(full, quick []int) []int {
 	return full
 }
 
+// Cell is one table cell: the formatted text shown by the renderers plus
+// the underlying numeric value when the cell came from a number. Cells are
+// the single source of truth — Rows mirrors their Text for callers that
+// only need strings.
+type Cell struct {
+	Text  string
+	Num   float64
+	IsNum bool
+}
+
 // Table is one experiment's result: a titled grid of rows plus free-form
 // notes (e.g. the paper's predicted shape).
 type Table struct {
 	ID      string
 	Title   string
 	Columns []string
-	Rows    [][]string
-	Notes   []string
+	// Records holds the typed cells, one slice per row; AddRow is the only
+	// writer. The renderers and RowRecords both consume Records.
+	Records [][]Cell
+	// Rows mirrors Records cell texts for string-only consumers.
+	Rows  [][]string
+	Notes []string
 }
 
-// AddRow appends a formatted row; values are rendered with %v.
+// AddRow appends a formatted row; values are rendered with %v and numeric
+// values additionally retain their machine-readable form.
 func (t *Table) AddRow(values ...interface{}) {
+	cells := make([]Cell, len(values))
 	row := make([]string, len(values))
 	for i, v := range values {
-		switch x := v.(type) {
-		case float64:
-			row[i] = formatFloat(x)
-		default:
-			row[i] = fmt.Sprintf("%v", x)
-		}
+		cells[i] = makeCell(v)
+		row[i] = cells[i].Text
 	}
+	t.Records = append(t.Records, cells)
 	t.Rows = append(t.Rows, row)
+}
+
+func makeCell(v interface{}) Cell {
+	switch x := v.(type) {
+	case float64:
+		return Cell{Text: formatFloat(x), Num: x, IsNum: true}
+	case int:
+		return Cell{Text: strconv.Itoa(x), Num: float64(x), IsNum: true}
+	case int64:
+		return Cell{Text: strconv.FormatInt(x, 10), Num: float64(x), IsNum: true}
+	default:
+		return Cell{Text: fmt.Sprintf("%v", v)}
+	}
+}
+
+// RowRecord is the stable machine-readable form of one table row: the
+// experiment ID plus the row's cells keyed by column name — numeric cells
+// under Values, everything else under Labels. Extra cells beyond the column
+// count keep positional keys ("col7"). Non-finite numbers are demoted to
+// Labels so records always survive JSON encoding.
+type RowRecord struct {
+	Experiment string
+	Labels     map[string]string
+	Values     map[string]float64
+}
+
+// RowRecords exports every row of the table in machine-readable form.
+func (t *Table) RowRecords() []RowRecord {
+	out := make([]RowRecord, len(t.Records))
+	for i, cells := range t.Records {
+		rec := RowRecord{
+			Experiment: t.ID,
+			Labels:     make(map[string]string),
+			Values:     make(map[string]float64),
+		}
+		for j, c := range cells {
+			key := fmt.Sprintf("col%d", j)
+			if j < len(t.Columns) {
+				key = t.Columns[j]
+			}
+			if c.IsNum && !math.IsNaN(c.Num) && !math.IsInf(c.Num, 0) {
+				rec.Values[key] = c.Num
+			} else {
+				rec.Labels[key] = c.Text
+			}
+		}
+		out[i] = rec
+	}
+	return out
 }
 
 func formatFloat(x float64) string {
@@ -77,10 +141,10 @@ func (t *Table) Render() string {
 	for i, c := range t.Columns {
 		widths[i] = len(c)
 	}
-	for _, row := range t.Rows {
+	for _, row := range t.Records {
 		for i, cell := range row {
-			if i < len(widths) && len(cell) > widths[i] {
-				widths[i] = len(cell)
+			if i < len(widths) && len(cell.Text) > widths[i] {
+				widths[i] = len(cell.Text)
 			}
 		}
 	}
@@ -99,8 +163,8 @@ func (t *Table) Render() string {
 		rule[i] = strings.Repeat("-", widths[i])
 	}
 	writeRow(rule)
-	for _, row := range t.Rows {
-		writeRow(row)
+	for _, row := range t.Records {
+		writeRow(cellTexts(row))
 	}
 	for _, n := range t.Notes {
 		fmt.Fprintf(&b, "note: %s\n", n)
@@ -118,13 +182,21 @@ func (t *Table) RenderMarkdown() string {
 		sep[i] = "---"
 	}
 	b.WriteString("| " + strings.Join(sep, " | ") + " |\n")
-	for _, row := range t.Rows {
-		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	for _, row := range t.Records {
+		b.WriteString("| " + strings.Join(cellTexts(row), " | ") + " |\n")
 	}
 	for _, n := range t.Notes {
 		fmt.Fprintf(&b, "\n*%s*\n", n)
 	}
 	return b.String()
+}
+
+func cellTexts(cells []Cell) []string {
+	texts := make([]string, len(cells))
+	for i, c := range cells {
+		texts[i] = c.Text
+	}
+	return texts
 }
 
 // Runner executes one experiment.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"math"
 	"strconv"
 	"strings"
 	"testing"
@@ -40,6 +41,60 @@ func TestByID(t *testing.T) {
 	}
 	if _, err := ByID("E99"); err == nil {
 		t.Error("unknown ID accepted")
+	}
+}
+
+func TestTableRowRecords(t *testing.T) {
+	tb := &Table{
+		ID:      "T",
+		Columns: []string{"family", "n", "ratio", "ok"},
+	}
+	tb.AddRow("path", 16, 1.833, "yes", "extra")
+	recs := tb.RowRecords()
+	if len(recs) != 1 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	r := recs[0]
+	if r.Experiment != "T" {
+		t.Errorf("experiment = %q", r.Experiment)
+	}
+	if r.Labels["family"] != "path" || r.Labels["ok"] != "yes" {
+		t.Errorf("labels = %v", r.Labels)
+	}
+	if r.Values["n"] != 16 || r.Values["ratio"] != 1.833 {
+		t.Errorf("values = %v", r.Values)
+	}
+	// Cells beyond the column count keep positional keys.
+	if r.Labels["col4"] != "extra" {
+		t.Errorf("overflow cell = %v", r.Labels)
+	}
+	// Non-finite numbers are demoted to labels so JSON encoding never fails.
+	tb.AddRow("path", math.Inf(1), math.NaN(), "no")
+	r = tb.RowRecords()[1]
+	if _, inVals := r.Values["n"]; inVals {
+		t.Error("infinite value kept numeric")
+	}
+	if _, inLabels := r.Labels["ratio"]; !inLabels {
+		t.Errorf("NaN not demoted: %v / %v", r.Labels, r.Values)
+	}
+}
+
+func TestTableRowsMirrorRecords(t *testing.T) {
+	tb := &Table{ID: "T", Columns: []string{"a", "b"}}
+	tb.AddRow(1, 2.5)
+	tb.AddRow("x", int64(7))
+	if len(tb.Rows) != len(tb.Records) {
+		t.Fatalf("rows/records length mismatch: %d vs %d", len(tb.Rows), len(tb.Records))
+	}
+	for i := range tb.Records {
+		for j := range tb.Records[i] {
+			if tb.Rows[i][j] != tb.Records[i][j].Text {
+				t.Errorf("row %d cell %d: %q != %q", i, j, tb.Rows[i][j], tb.Records[i][j].Text)
+			}
+		}
+	}
+	if !tb.Records[1][1].IsNum || tb.Records[1][1].Num != 7 {
+		t.Errorf("int64 cell not numeric: %+v", tb.Records[1][1])
 	}
 }
 
