@@ -1,0 +1,192 @@
+// Command benchjson runs the repository's core performance benchmarks with
+// allocation accounting and records the results in BENCH_sim.json, the
+// repo's perf trajectory file. Each invocation appends one labeled entry,
+// so successive runs (one per perf-relevant PR) form a comparable series.
+//
+//	benchjson [-o BENCH_sim.json] [-label current] [-n 1024] [-m 4096] [-seed 1]
+//
+// The measured benchmarks mirror bench_test.go's public-API pair plus the
+// steady-state engine hot loop and raw graph construction:
+//
+//	public-wakeup      Wakeup(g, source): oracle + simulation per op
+//	public-broadcast   Broadcast(g, source): oracle + simulation per op
+//	engine-wakeup      reused sim.Engine, advice precomputed: simulation only
+//	engine-broadcast   reused sim.Engine, advice precomputed: simulation only
+//	graph-build        RandomNetwork: generator + CSR construction per op
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+
+	"oraclesize"
+	"oraclesize/internal/broadcast"
+	"oraclesize/internal/sim"
+	"oraclesize/internal/wakeup"
+)
+
+// File is the BENCH_sim.json document: a schema tag plus the entry series.
+type File struct {
+	Schema  string  `json:"schema"`
+	Entries []Entry `json:"entries"`
+}
+
+// Entry is one benchjson invocation.
+type Entry struct {
+	Label      string      `json:"label"`
+	Go         string      `json:"go"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	Nodes      int         `json:"nodes"`
+	Edges      int         `json:"edges"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Benchmark is one measured benchmark within an entry.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Iters       int     `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+const schema = "oraclesize/bench/v1"
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	var (
+		outPath = fs.String("o", "BENCH_sim.json", "benchmark trajectory file to append to")
+		label   = fs.String("label", "current", "label for this entry (e.g. a PR or commit id)")
+		n       = fs.Int("n", 1024, "benchmark graph nodes")
+		m       = fs.Int("m", 4096, "benchmark graph edges")
+		seed    = fs.Int64("seed", 1, "benchmark graph seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	g, err := oraclesize.RandomNetwork(*n, *m, *seed)
+	if err != nil {
+		fmt.Fprintln(errOut, err)
+		return 1
+	}
+	wakeupAdvice, err := oraclesize.WakeupAdvice(g, 0)
+	if err != nil {
+		fmt.Fprintln(errOut, err)
+		return 1
+	}
+	broadcastAdvice, err := oraclesize.BroadcastAdvice(g, 0)
+	if err != nil {
+		fmt.Fprintln(errOut, err)
+		return 1
+	}
+
+	benches := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"public-wakeup", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := oraclesize.Wakeup(g, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"public-broadcast", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := oraclesize.Broadcast(g, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"engine-wakeup", func(b *testing.B) {
+			e := sim.NewEngine()
+			opts := sim.Options{EnforceWakeup: true}
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Run(g, 0, wakeup.Algorithm{}, wakeupAdvice, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"engine-broadcast", func(b *testing.B) {
+			e := sim.NewEngine()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Run(g, 0, broadcast.Algorithm{}, broadcastAdvice, sim.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"graph-build", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := oraclesize.RandomNetwork(*n, *m, *seed); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+
+	entry := Entry{
+		Label:  *label,
+		Go:     runtime.Version(),
+		GOOS:   runtime.GOOS,
+		GOARCH: runtime.GOARCH,
+		Nodes:  g.N(),
+		Edges:  g.M(),
+	}
+	for _, bench := range benches {
+		fn := bench.fn
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			fn(b)
+		})
+		entry.Benchmarks = append(entry.Benchmarks, Benchmark{
+			Name:        bench.name,
+			Iters:       r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+		fmt.Fprintf(out, "%-18s %10d iters  %12.0f ns/op  %10d B/op  %8d allocs/op\n",
+			bench.name, r.N, float64(r.T.Nanoseconds())/float64(r.N),
+			r.AllocedBytesPerOp(), r.AllocsPerOp())
+	}
+
+	doc := File{Schema: schema}
+	if data, err := os.ReadFile(*outPath); err == nil {
+		if err := json.Unmarshal(data, &doc); err != nil {
+			fmt.Fprintf(errOut, "benchjson: %s exists but is not a bench file: %v\n", *outPath, err)
+			return 1
+		}
+		if doc.Schema != schema {
+			fmt.Fprintf(errOut, "benchjson: %s has schema %q, want %q\n", *outPath, doc.Schema, schema)
+			return 1
+		}
+	} else if !os.IsNotExist(err) {
+		fmt.Fprintln(errOut, err)
+		return 1
+	}
+	doc.Entries = append(doc.Entries, entry)
+
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(errOut, err)
+		return 1
+	}
+	if err := os.WriteFile(*outPath, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(errOut, err)
+		return 1
+	}
+	fmt.Fprintf(out, "wrote entry %q to %s (%d entries)\n", *label, *outPath, len(doc.Entries))
+	return 0
+}

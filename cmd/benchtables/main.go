@@ -14,6 +14,7 @@ import (
 
 	"oraclesize/internal/campaign"
 	"oraclesize/internal/experiments"
+	"oraclesize/internal/profiling"
 )
 
 func main() {
@@ -24,12 +25,14 @@ func run(args []string, out, errOut io.Writer) int {
 	fs := flag.NewFlagSet("benchtables", flag.ContinueOnError)
 	fs.SetOutput(errOut)
 	var (
-		only     = fs.String("only", "", "run a single experiment by ID (e.g. E3)")
-		quick    = fs.Bool("quick", false, "reduced sweeps")
-		seed     = fs.Int64("seed", 1, "random seed")
-		format   = fs.String("format", "text", "output format: text | markdown")
-		parallel = fs.Bool("parallel", false, "run experiments concurrently (same output order)")
-		workers  = fs.Int("workers", 0, "worker pool size for -parallel (0 = GOMAXPROCS)")
+		only       = fs.String("only", "", "run a single experiment by ID (e.g. E3)")
+		quick      = fs.Bool("quick", false, "reduced sweeps")
+		seed       = fs.Int64("seed", 1, "random seed")
+		format     = fs.String("format", "text", "output format: text | markdown")
+		parallel   = fs.Bool("parallel", false, "run experiments concurrently (same output order)")
+		workers    = fs.Int("workers", 0, "worker pool size for -parallel (0 = GOMAXPROCS)")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = fs.String("memprofile", "", "write an allocs profile to this file at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -38,6 +41,16 @@ func run(args []string, out, errOut io.Writer) int {
 		fmt.Fprintf(errOut, "unknown format %q\n", *format)
 		return 1
 	}
+	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(errOut, err)
+		return 1
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintln(errOut, err)
+		}
+	}()
 
 	cfg := experiments.Config{Seed: *seed, Quick: *quick}
 	runners := experiments.All()

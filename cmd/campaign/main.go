@@ -21,6 +21,7 @@ import (
 
 	"oraclesize/internal/campaign"
 	"oraclesize/internal/experiments"
+	"oraclesize/internal/profiling"
 )
 
 func main() {
@@ -85,15 +86,27 @@ func cmdRun(args []string, resume bool, out, errOut io.Writer) int {
 	fs := flag.NewFlagSet("campaign "+name, flag.ContinueOnError)
 	fs.SetOutput(errOut)
 	var (
-		specPath = fs.String("spec", "", "campaign spec file (JSON)")
-		quick    = fs.Bool("quick", false, "use the built-in quick smoke spec")
-		outPath  = fs.String("out", "", "results JSONL file (default stdout; required for resume)")
-		workers  = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-		seed     = fs.Int64("seed", 0, "override the spec seed")
+		specPath   = fs.String("spec", "", "campaign spec file (JSON)")
+		quick      = fs.Bool("quick", false, "use the built-in quick smoke spec")
+		outPath    = fs.String("out", "", "results JSONL file (default stdout; required for resume)")
+		workers    = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		seed       = fs.Int64("seed", 0, "override the spec seed")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = fs.String("memprofile", "", "write an allocs profile to this file at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(errOut, err)
+		return 1
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintln(errOut, err)
+		}
+	}()
 	seedSet := false
 	fs.Visit(func(f *flag.Flag) {
 		if f.Name == "seed" {
@@ -157,9 +170,10 @@ func cmdRun(args []string, resume bool, out, errOut io.Writer) int {
 		fmt.Fprintln(errOut, err)
 		return 1
 	}
-	fmt.Fprintf(errOut, "campaign %s %s: %d units (%d run, %d skipped), %d records, wall %v\n",
+	fmt.Fprintf(errOut, "campaign %s %s: %d units (%d run, %d skipped), %d records, instance cache %d/%d hits, wall %v\n",
 		spec.Name, spec.Hash(), stats.Units, stats.Executed, stats.Skipped,
-		stats.Records, time.Since(start).Round(time.Millisecond))
+		stats.Records, stats.CacheHits, stats.CacheHits+stats.CacheMisses,
+		time.Since(start).Round(time.Millisecond))
 	return 0
 }
 

@@ -125,6 +125,14 @@ type Writer struct {
 	n     int
 }
 
+// Reset empties the writer while keeping its buffer, so one Writer can
+// encode many strings without reallocating.
+func (w *Writer) Reset() {
+	clear(w.words)
+	w.words = w.words[:0]
+	w.n = 0
+}
+
 // WriteBit appends a single bit.
 func (w *Writer) WriteBit(b bool) {
 	idx := w.n >> 6
@@ -178,6 +186,13 @@ type Reader struct {
 
 // NewReader returns a Reader over s.
 func NewReader(s String) *Reader { return &Reader{s: s} }
+
+// Reset points the reader at s from the start. It lets decoders keep a
+// stack-allocated Reader value instead of heap-allocating via NewReader.
+func (r *Reader) Reset(s String) {
+	r.s = s
+	r.pos = 0
+}
 
 // Remaining reports the number of unread bits.
 func (r *Reader) Remaining() int { return r.s.n - r.pos }

@@ -242,54 +242,60 @@ type Codec struct {
 	Len func(v uint64) int
 }
 
-// Codecs returns the self-delimiting codecs implemented by this package,
-// each valid for all v >= 0.
-func Codecs() []Codec {
-	return []Codec{
-		{
-			Name:   "doubled",
-			Append: (*Writer).AppendDoubled,
-			Read:   (*Reader).ReadDoubled,
-			Len:    DoubledLen,
+// codecTable is the immutable codec registry, built once so per-node codec
+// lookups (hot in the broadcast scheme) allocate nothing.
+var codecTable = []Codec{
+	{
+		Name:   "doubled",
+		Append: (*Writer).AppendDoubled,
+		Read:   (*Reader).ReadDoubled,
+		Len:    DoubledLen,
+	},
+	{
+		Name:   "gamma",
+		Append: (*Writer).AppendGamma0,
+		Read:   (*Reader).ReadGamma0,
+		Len:    Gamma0Len,
+	},
+	{
+		Name:   "delta",
+		Append: func(w *Writer, v uint64) { w.AppendEliasDelta(v + 1) },
+		Read: func(r *Reader) (uint64, error) {
+			v, err := r.ReadEliasDelta()
+			if err != nil {
+				return 0, err
+			}
+			return v - 1, nil
 		},
-		{
-			Name:   "gamma",
-			Append: (*Writer).AppendGamma0,
-			Read:   (*Reader).ReadGamma0,
-			Len:    Gamma0Len,
-		},
-		{
-			Name:   "delta",
-			Append: func(w *Writer, v uint64) { w.AppendEliasDelta(v + 1) },
-			Read: func(r *Reader) (uint64, error) {
-				v, err := r.ReadEliasDelta()
-				if err != nil {
-					return 0, err
-				}
-				return v - 1, nil
-			},
-			Len: func(v uint64) int { return EliasDeltaLen(v + 1) },
-		},
-		{
-			Name:   "unary",
-			Append: (*Writer).AppendUnary,
-			Read:   (*Reader).ReadUnary,
-			Len:    UnaryLen,
-		},
-		{
-			Name:   "rice2",
-			Append: func(w *Writer, v uint64) { w.AppendRice(v, 2) },
-			Read:   func(r *Reader) (uint64, error) { return r.ReadRice(2) },
-			Len:    func(v uint64) int { return RiceLen(v, 2) },
-		},
-	}
+		Len: func(v uint64) int { return EliasDeltaLen(v + 1) },
+	},
+	{
+		Name:   "unary",
+		Append: (*Writer).AppendUnary,
+		Read:   (*Reader).ReadUnary,
+		Len:    UnaryLen,
+	},
+	{
+		Name:   "rice2",
+		Append: func(w *Writer, v uint64) { w.AppendRice(v, 2) },
+		Read:   func(r *Reader) (uint64, error) { return r.ReadRice(2) },
+		Len:    func(v uint64) int { return RiceLen(v, 2) },
+	},
 }
 
-// CodecByName returns the codec with the given name.
+// Codecs returns the self-delimiting codecs implemented by this package,
+// each valid for all v >= 0. The returned slice is a fresh copy.
+func Codecs() []Codec {
+	out := make([]Codec, len(codecTable))
+	copy(out, codecTable)
+	return out
+}
+
+// CodecByName returns the codec with the given name without allocating.
 func CodecByName(name string) (Codec, error) {
-	for _, c := range Codecs() {
-		if c.Name == name {
-			return c, nil
+	for i := range codecTable {
+		if codecTable[i].Name == name {
+			return codecTable[i], nil
 		}
 	}
 	return Codec{}, fmt.Errorf("bitstring: unknown codec %q", name)

@@ -100,18 +100,38 @@ func (o Oracle) Advise(g *graph.Graph, source graph.NodeID) (sim.Advice, error) 
 
 func (o Oracle) adviseForTree(g *graph.Graph, edges []graph.Edge) (sim.Advice, error) {
 	codec := o.codec()
-	ports := make(map[graph.NodeID][]int, g.N())
+	// Group the assigned ports by node in CSR form (count, prefix-sum,
+	// fill), preserving edge order within each node's group so the advice
+	// bits match the map-of-slices construction exactly.
+	n := g.N()
+	off := make([]int32, n+1)
+	for _, e := range edges {
+		x, _ := AssignedEndpoint(e)
+		off[x+1]++
+	}
+	for v := 0; v < n; v++ {
+		off[v+1] += off[v]
+	}
+	ports := make([]int32, off[n])
+	cursor := make([]int32, n)
+	copy(cursor, off[:n])
 	for _, e := range edges {
 		x, p := AssignedEndpoint(e)
-		ports[x] = append(ports[x], p)
+		ports[cursor[x]] = int32(p)
+		cursor[x]++
 	}
-	advice := make(sim.Advice, len(ports))
-	for v, ps := range ports {
-		var w bitstring.Writer
-		for _, p := range ps {
+	advice := make(sim.Advice, n)
+	var w bitstring.Writer
+	for v := 0; v < n; v++ {
+		seg := ports[off[v]:off[v+1]]
+		if len(seg) == 0 {
+			continue
+		}
+		w.Reset()
+		for _, p := range seg {
 			codec.Append(&w, uint64(p))
 		}
-		advice[v] = w.String()
+		advice[graph.NodeID(v)] = w.String()
 	}
 	return advice, nil
 }
@@ -166,42 +186,105 @@ func (Algorithm) Name() string { return "scheme-B" }
 // NewNode implements scheme.Algorithm.
 func (a Algorithm) NewNode(info scheme.NodeInfo) scheme.Node {
 	codec := Oracle{Codec: a.Codec}.codec()
-	nd := &node{info: info}
-	ports, err := DecodePorts(info.Advice, codec)
-	if err != nil {
-		// Malformed advice (wrong codec pairing): start with no knowledge;
-		// the run will stall visibly rather than panic.
-		ports = nil
-	}
-	nd.known = make(map[int]bool, len(ports))
-	for _, p := range ports {
-		if p >= 0 && p < info.Degree {
-			nd.known[p] = true
-		}
-	}
+	nd := &node{}
+	words := bitsetWords(info.Degree)
+	backing := make([]uint64, 2*words)
+	nd.known = backing[:words]
+	nd.sentM = backing[words:]
+	nd.sends = make([]scheme.Send, 0, info.Degree)
+	var r bitstring.Reader
+	nd.init(&r, info, codec)
 	return nd
+}
+
+// NewNodes implements scheme.NodeBatcher: the automata, their port bitsets,
+// and their send scratch buffers are carved from three backing arrays
+// instead of per-node objects, and a single Reader serves every advice
+// decode (the indirect codec.Read call would otherwise heap-allocate one
+// Reader per node).
+func (a Algorithm) NewNodes(infos []scheme.NodeInfo, dst []scheme.Node) {
+	codec := Oracle{Codec: a.Codec}.codec()
+	backing := make([]node, len(infos))
+	words, degSum := 0, 0
+	for _, info := range infos {
+		words += 2 * bitsetWords(info.Degree)
+		degSum += info.Degree
+	}
+	bits := make([]uint64, words)
+	sends := make([]scheme.Send, degSum)
+	var r bitstring.Reader
+	off, soff := 0, 0
+	for i, info := range infos {
+		nd := &backing[i]
+		w := bitsetWords(info.Degree)
+		nd.known = bits[off : off+w]
+		nd.sentM = bits[off+w : off+2*w]
+		off += 2 * w
+		nd.sends = sends[soff : soff : soff+info.Degree]
+		soff += info.Degree
+		nd.init(&r, info, codec)
+		dst[i] = nd
+	}
+}
+
+// bitset is a fixed-capacity port set; ports are dense in [0, degree), so a
+// packed bit array replaces the former map[int]bool without changing the
+// ascending-port iteration order the scheme's message order depends on.
+type bitset []uint64
+
+func bitsetWords(degree int) int { return (degree + 63) / 64 }
+
+func (b bitset) get(i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+func (b bitset) set(i int)      { b[i>>6] |= 1 << (uint(i) & 63) }
+
+func (b bitset) setAll(n int) {
+	for i := 0; i < n; i++ {
+		b.set(i)
+	}
 }
 
 type node struct {
 	info     scheme.NodeInfo
 	informed bool
-	known    map[int]bool // K_x
-	sentM    map[int]bool // S_x
+	known    bitset // K_x
+	sentM    bitset // S_x
+	// sends is the reused output buffer (capacity Degree — no automaton
+	// step emits more). The engine consumes the returned slice before the
+	// automaton's next step, so reuse is safe in both engines: the
+	// sequential one is single-threaded and the concurrent one drives each
+	// automaton from its own goroutine.
+	sends []scheme.Send
+}
+
+// init decodes the advice into K_x. Malformed advice (wrong codec pairing)
+// leaves the node with no knowledge: the run stalls visibly rather than
+// panicking, exactly as the map-based decoder behaved.
+func (nd *node) init(r *bitstring.Reader, info scheme.NodeInfo, codec bitstring.Codec) {
+	nd.info = info
+	r.Reset(info.Advice)
+	for r.Remaining() > 0 {
+		p, err := codec.Read(r)
+		if err != nil {
+			clear(nd.known)
+			return
+		}
+		if p < uint64(info.Degree) {
+			nd.known.set(int(p))
+		}
+	}
 }
 
 func (nd *node) Init() []scheme.Send {
-	nd.sentM = make(map[int]bool, len(nd.known))
-	var sends []scheme.Send
 	if nd.info.Source {
 		nd.informed = true
-		sends = nd.flushM()
 		// H_x ← H_x \ S_x leaves nothing: the source already sent M on
 		// every known port, so it owes no hellos.
-		return sends
+		return nd.flushM()
 	}
 	// Non-source: H_x = K_x, send hello everywhere, H_x ← ∅.
+	sends := nd.sends[:0]
 	for p := 0; p < nd.info.Degree; p++ {
-		if nd.known[p] {
+		if nd.known.get(p) {
 			sends = append(sends, scheme.Send{Port: p, Msg: scheme.Message{Kind: scheme.KindHello}})
 		}
 	}
@@ -209,11 +292,11 @@ func (nd *node) Init() []scheme.Send {
 }
 
 func (nd *node) Receive(msg scheme.Message, port int) []scheme.Send {
-	nd.known[port] = true
+	nd.known.set(port)
 	if msg.Informed {
 		// The source message transited this edge (it is appended to every
 		// message an informed node sends), so never send M back on it.
-		nd.sentM[port] = true
+		nd.sentM.set(port)
 		nd.informed = true
 	}
 	if !nd.informed {
@@ -225,10 +308,10 @@ func (nd *node) Receive(msg scheme.Message, port int) []scheme.Send {
 // flushM restores the invariant S_x = K_x: send M on all known ports it has
 // not yet transited.
 func (nd *node) flushM() []scheme.Send {
-	var sends []scheme.Send
+	sends := nd.sends[:0]
 	for p := 0; p < nd.info.Degree; p++ {
-		if nd.known[p] && !nd.sentM[p] {
-			nd.sentM[p] = true
+		if nd.known.get(p) && !nd.sentM.get(p) {
+			nd.sentM.set(p)
 			sends = append(sends, scheme.Send{Port: p, Msg: scheme.Message{Kind: scheme.KindM}})
 		}
 	}
@@ -245,6 +328,15 @@ func (Flooding) Name() string { return "broadcast-flooding" }
 // NewNode implements scheme.Algorithm.
 func (Flooding) NewNode(info scheme.NodeInfo) scheme.Node {
 	return &floodNode{info: info}
+}
+
+// NewNodes implements scheme.NodeBatcher.
+func (Flooding) NewNodes(infos []scheme.NodeInfo, dst []scheme.Node) {
+	backing := make([]floodNode, len(infos))
+	for i, info := range infos {
+		backing[i].info = info
+		dst[i] = &backing[i]
+	}
 }
 
 type floodNode struct {

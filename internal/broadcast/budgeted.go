@@ -82,33 +82,33 @@ func (HybridAlgorithm) Name() string { return "scheme-B-hybrid" }
 // NewNode implements scheme.Algorithm.
 func (a HybridAlgorithm) NewNode(info scheme.NodeInfo) scheme.Node {
 	codec := Oracle{Codec: a.Codec}.codec()
-	nd := &node{info: info, known: make(map[int]bool)}
+	words := bitsetWords(info.Degree)
+	backing := make([]uint64, 2*words)
+	nd := &node{info: info, known: backing[:words], sentM: backing[words:]}
+	nd.sends = make([]scheme.Send, 0, info.Degree)
 	if info.Advice.Empty() {
 		// Uncovered: all incident edges are candidate tree edges.
-		for p := 0; p < info.Degree; p++ {
-			nd.known[p] = true
-		}
+		nd.known.setAll(info.Degree)
 		return nd
 	}
-	r := bitstring.NewReader(info.Advice)
+	var r bitstring.Reader
+	r.Reset(info.Advice)
 	marker, err := r.ReadBit()
 	if err != nil || !marker {
-		for p := 0; p < info.Degree; p++ {
-			nd.known[p] = true
-		}
+		nd.known.setAll(info.Degree)
 		return nd
 	}
-	rest := info.Advice.Slice(1, info.Advice.Len())
-	ports, err := DecodePorts(rest, codec)
-	if err != nil {
-		for p := 0; p < info.Degree; p++ {
-			nd.known[p] = true
+	// The codes are self-delimiting, so reading them straight off the
+	// marker's reader matches decoding the post-marker substring.
+	for r.Remaining() > 0 {
+		p, err := codec.Read(&r)
+		if err != nil {
+			clear(nd.known)
+			nd.known.setAll(info.Degree)
+			return nd
 		}
-		return nd
-	}
-	for _, p := range ports {
-		if p >= 0 && p < info.Degree {
-			nd.known[p] = true
+		if p < uint64(info.Degree) {
+			nd.known.set(int(p))
 		}
 	}
 	return nd

@@ -1,0 +1,102 @@
+package campaign
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"oraclesize/internal/graph"
+	"oraclesize/internal/graphgen"
+	"oraclesize/internal/oracle"
+	"oraclesize/internal/sim"
+)
+
+// instanceCache shares generated graph instances — and each oracle's advice
+// on them — across the trials × schemes × tasks fan-out. Units that agree
+// on (family, n, trial) run on one immutable instance instead of
+// regenerating it per unit, which both removes the dominant per-unit cost
+// and puts competing schemes on the exact same input.
+//
+// The cache is bounded: entries are evicted in insertion (FIFO) order once
+// the capacity is exceeded. A unit that misses after eviction simply
+// regenerates the instance from its seed, so cache state never affects
+// results — only speed.
+type instanceCache struct {
+	mu      sync.Mutex
+	entries map[string]*instanceEntry
+	order   []string // insertion order, for FIFO eviction
+	cap     int
+	hits    atomic.Int64
+	misses  atomic.Int64
+}
+
+func newInstanceCache(capacity int) *instanceCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &instanceCache{entries: make(map[string]*instanceEntry, capacity), cap: capacity}
+}
+
+// instanceEntry is one cached instance. The graph is generated at most once
+// (workers that race on a fresh entry block on the Once); advice is
+// computed at most once per oracle name under the entry lock. Both the
+// graph and the advice map values are immutable after construction, so
+// concurrent units may share them freely.
+type instanceEntry struct {
+	genOnce sync.Once
+	g       *graph.Graph
+	genErr  error
+
+	mu     sync.Mutex
+	advice map[string]adviceResult
+}
+
+type adviceResult struct {
+	advice sim.Advice
+	err    error
+}
+
+// instance returns the entry for u's (family, n, trial) instance,
+// generating the graph on first use from the unit's instance seed.
+func (c *instanceCache) instance(u Unit, fam graphgen.Family) (*instanceEntry, error) {
+	key := u.InstanceKey()
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		e = &instanceEntry{advice: make(map[string]adviceResult)}
+		c.entries[key] = e
+		c.order = append(c.order, key)
+		if len(c.order) > c.cap {
+			// Evicting an entry another worker still holds is safe: their
+			// pointer stays valid, the instance just stops being shared.
+			delete(c.entries, c.order[0])
+			c.order = c.order[1:]
+		}
+	}
+	c.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	e.genOnce.Do(func() {
+		rng := rand.New(rand.NewSource(u.InstanceSeed))
+		e.g, e.genErr = fam.Generate(u.N, rng)
+	})
+	return e, e.genErr
+}
+
+// advise returns o's advice for the entry's graph, computed once per oracle
+// name. Oracles are deterministic in (graph, source), and every task unit
+// broadcasts from node 0, so the name fully identifies the result.
+func (e *instanceEntry) advise(o oracle.Oracle, source graph.NodeID) (sim.Advice, error) {
+	name := o.Name()
+	e.mu.Lock()
+	r, ok := e.advice[name]
+	if !ok {
+		r.advice, r.err = o.Advise(e.g, source)
+		e.advice[name] = r
+	}
+	e.mu.Unlock()
+	return r.advice, r.err
+}

@@ -1,0 +1,91 @@
+package campaign
+
+import (
+	"reflect"
+	"testing"
+)
+
+// taskUnits returns the quick spec's task units (the ones the instance
+// cache serves).
+func taskUnits(t *testing.T) (*Spec, []Unit) {
+	t.Helper()
+	spec := QuickSpec()
+	var units []Unit
+	for _, u := range spec.Units() {
+		if u.Kind == KindTask {
+			units = append(units, u)
+		}
+	}
+	if len(units) == 0 {
+		t.Fatal("quick spec has no task units")
+	}
+	return spec, units
+}
+
+// TestCacheDoesNotChangeRecords is the cache-transparency contract: every
+// task unit must produce identical records (modulo WallNS) with a shared
+// cache, with a cold cache, and with no cache at all — the cache is pure
+// memoization of a deterministic function of InstanceSeed.
+func TestCacheDoesNotChangeRecords(t *testing.T) {
+	spec, units := taskUnits(t)
+	hash := spec.Hash()
+	shared := newInstanceCache(len(units))
+	for _, u := range units {
+		variants := []struct {
+			label string
+			cache *instanceCache
+		}{
+			{"uncached", nil},
+			{"cold", newInstanceCache(1)},
+			{"shared", shared},
+		}
+		var want []Record
+		for _, v := range variants {
+			recs, err := runUnit(spec, hash, u, v.cache)
+			if err != nil {
+				t.Fatalf("%s %s: %v", u.Key(), v.label, err)
+			}
+			for i := range recs {
+				recs[i].WallNS = 0
+			}
+			if want == nil {
+				want = recs
+				continue
+			}
+			if !reflect.DeepEqual(want, recs) {
+				t.Errorf("%s: %s records differ from uncached:\nuncached: %+v\n%s: %+v",
+					u.Key(), v.label, want, v.label, recs)
+			}
+		}
+	}
+}
+
+// TestCacheHitMissAccounting checks that trials of the same instance hit
+// the cache after the first miss, and that eviction only regenerates —
+// never corrupts — an instance.
+func TestCacheHitMissAccounting(t *testing.T) {
+	spec, units := taskUnits(t)
+	hash := spec.Hash()
+	cache := newInstanceCache(len(units))
+	seen := map[string]bool{}
+	wantMisses := 0
+	for _, u := range units {
+		if !seen[u.InstanceKey()] {
+			seen[u.InstanceKey()] = true
+			wantMisses++
+		}
+		if _, err := runUnit(spec, hash, u, cache); err != nil {
+			t.Fatalf("%s: %v", u.Key(), err)
+		}
+	}
+	hits, misses := cache.hits.Load(), cache.misses.Load()
+	if int(misses) != wantMisses {
+		t.Errorf("misses = %d, want %d (one per distinct instance)", misses, wantMisses)
+	}
+	if int(hits) != len(units)-wantMisses {
+		t.Errorf("hits = %d, want %d", hits, len(units)-wantMisses)
+	}
+	if len(units) > 1 && hits == 0 {
+		t.Error("no cache hits across schemes sharing an instance")
+	}
+}

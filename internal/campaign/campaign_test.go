@@ -161,7 +161,7 @@ func TestRunTaskUnitWakeupTreeExact(t *testing.T) {
 	if !found {
 		t.Fatal("expected unit not compiled")
 	}
-	recs, err := runUnit(spec, spec.Hash(), unit)
+	recs, err := runUnit(spec, spec.Hash(), unit, newInstanceCache(4))
 	if err != nil {
 		t.Fatalf("runUnit: %v", err)
 	}

@@ -2,6 +2,7 @@ package campaign
 
 import (
 	"fmt"
+	"runtime"
 	"sync/atomic"
 )
 
@@ -27,6 +28,11 @@ type Stats struct {
 	Skipped int
 	// Records counts JSONL records written this execution.
 	Records int
+	// CacheHits and CacheMisses count instance-cache lookups: hits reused
+	// a shared graph instance, misses generated one. Cache state never
+	// affects record contents, only speed.
+	CacheHits   int64
+	CacheMisses int64
 }
 
 // Run validates the spec, compiles its units, executes the ones not
@@ -39,6 +45,14 @@ func Run(spec *Spec, sink *Sink, opts RunOptions) (Stats, error) {
 	}
 	units := spec.Units()
 	specHash := spec.Hash()
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// The unit order revisits an instance across schemes after at most
+	// Trials intervening units, so Trials entries plus in-flight slack keeps
+	// the scheme fan-out at a ~100% hit rate without unbounded growth.
+	cache := newInstanceCache(spec.Trials + 2*workers + 8)
 	var executed, skipped atomic.Int64
 	err := Pool{Workers: opts.Workers}.Run(len(units), func(i int) error {
 		u := units[i]
@@ -48,7 +62,7 @@ func Run(spec *Spec, sink *Sink, opts RunOptions) (Stats, error) {
 				return err
 			}
 		} else {
-			recs, err := runUnit(spec, specHash, u)
+			recs, err := runUnit(spec, specHash, u, cache)
 			if err != nil {
 				return fmt.Errorf("campaign: unit %s: %w", u.Key(), err)
 			}
@@ -63,10 +77,12 @@ func Run(spec *Spec, sink *Sink, opts RunOptions) (Stats, error) {
 		return nil
 	})
 	stats := Stats{
-		Units:    len(units),
-		Executed: int(executed.Load()),
-		Skipped:  int(skipped.Load()),
-		Records:  sink.Written(),
+		Units:       len(units),
+		Executed:    int(executed.Load()),
+		Skipped:     int(skipped.Load()),
+		Records:     sink.Written(),
+		CacheHits:   cache.hits.Load(),
+		CacheMisses: cache.misses.Load(),
 	}
 	return stats, err
 }

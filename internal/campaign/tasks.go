@@ -7,6 +7,7 @@ import (
 
 	"oraclesize/internal/broadcast"
 	"oraclesize/internal/experiments"
+	"oraclesize/internal/graph"
 	"oraclesize/internal/graphgen"
 	"oraclesize/internal/oracle"
 	"oraclesize/internal/scheme"
@@ -81,10 +82,10 @@ func Schemes(task string) ([]string, error) {
 
 // runUnit executes one unit and returns its records (one for task units,
 // one per table row for experiment units).
-func runUnit(s *Spec, specHash string, u Unit) ([]Record, error) {
+func runUnit(s *Spec, specHash string, u Unit, cache *instanceCache) ([]Record, error) {
 	switch u.Kind {
 	case KindTask:
-		rec, err := runTaskUnit(s, specHash, u)
+		rec, err := runTaskUnit(s, specHash, u, cache)
 		if err != nil {
 			return nil, err
 		}
@@ -96,7 +97,7 @@ func runUnit(s *Spec, specHash string, u Unit) ([]Record, error) {
 	}
 }
 
-func runTaskUnit(s *Spec, specHash string, u Unit) (Record, error) {
+func runTaskUnit(s *Spec, specHash string, u Unit, cache *instanceCache) (Record, error) {
 	td, err := taskByName(u.Task)
 	if err != nil {
 		return Record{}, err
@@ -109,14 +110,28 @@ func runTaskUnit(s *Spec, specHash string, u Unit) (Record, error) {
 	if err != nil {
 		return Record{}, err
 	}
-	rng := rand.New(rand.NewSource(u.Seed))
-	g, err := fam.Generate(u.N, rng)
-	if err != nil {
-		return Record{}, fmt.Errorf("campaign: generating %s n=%d: %w", u.Family, u.N, err)
-	}
-	advice, err := p.oracle.Advise(g, 0)
-	if err != nil {
-		return Record{}, fmt.Errorf("campaign: advising %s/%s: %w", u.Task, u.Scheme, err)
+	var g *graph.Graph
+	var advice sim.Advice
+	if cache != nil {
+		e, err := cache.instance(u, fam)
+		if err != nil {
+			return Record{}, fmt.Errorf("campaign: generating %s n=%d: %w", u.Family, u.N, err)
+		}
+		g = e.g
+		advice, err = e.advise(p.oracle, 0)
+		if err != nil {
+			return Record{}, fmt.Errorf("campaign: advising %s/%s: %w", u.Task, u.Scheme, err)
+		}
+	} else {
+		rng := rand.New(rand.NewSource(u.InstanceSeed))
+		g, err = fam.Generate(u.N, rng)
+		if err != nil {
+			return Record{}, fmt.Errorf("campaign: generating %s n=%d: %w", u.Family, u.N, err)
+		}
+		advice, err = p.oracle.Advise(g, 0)
+		if err != nil {
+			return Record{}, fmt.Errorf("campaign: advising %s/%s: %w", u.Task, u.Scheme, err)
+		}
 	}
 	start := time.Now()
 	res, err := sim.Run(g, 0, p.algo, advice, sim.Options{

@@ -30,6 +30,11 @@ type Unit struct {
 	Experiment string
 	// Seed is the unit's private seed, derived from the spec seed and Key.
 	Seed int64
+	// InstanceSeed seeds the graph instance for task units. It is derived
+	// from the spec seed and InstanceKey — NOT from Key — so every unit
+	// that agrees on (family, n, trial) draws the same graph and competing
+	// schemes are measured on identical inputs.
+	InstanceSeed int64
 }
 
 // Key returns the unit's stable identity within its spec.
@@ -38,6 +43,12 @@ func (u Unit) Key() string {
 		return fmt.Sprintf("experiment/%s/t%d", u.Experiment, u.Trial)
 	}
 	return fmt.Sprintf("task/%s/%s/%s/n%d/t%d", u.Task, u.Scheme, u.Family, u.N, u.Trial)
+}
+
+// InstanceKey identifies the graph instance a task unit runs on. Units of
+// different tasks and schemes share instances; trials differ.
+func (u Unit) InstanceKey() string {
+	return fmt.Sprintf("instance/%s/n%d/t%d", u.Family, u.N, u.Trial)
 }
 
 // unitSeed mixes the spec seed with the unit key so every unit draws from
@@ -57,6 +68,9 @@ func (s *Spec) Units() []Unit {
 	add := func(u Unit) {
 		u.Index = len(units)
 		u.Seed = unitSeed(s.Seed, u.Key())
+		if u.Kind == KindTask {
+			u.InstanceSeed = unitSeed(s.Seed, u.InstanceKey())
+		}
 		units = append(units, u)
 	}
 	for _, ts := range s.Tasks {

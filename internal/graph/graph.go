@@ -12,7 +12,8 @@ package graph
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
+	"sync"
 )
 
 // NodeID identifies a node as a dense index in [0, N). It is distinct from
@@ -43,21 +44,40 @@ func (e Edge) Canonical() Edge {
 }
 
 // Graph is an immutable labeled port-numbered undirected graph.
+//
+// Adjacency is stored in compressed sparse row (CSR) form: all half-edges
+// live in one contiguous slice, ordered by (node, port), and offsets[v]
+// indexes the start of node v's ports. The layout keeps the simulation hot
+// loop (port resolution during message delivery) on a single cache-friendly
+// array instead of chasing per-node slice headers.
 type Graph struct {
-	labels  []int64
-	adj     [][]Half
+	labels []int64
+	// halves holds every node's ports back to back: node v's port p is
+	// halves[offsets[v]+p].
+	halves []Half
+	// offsets has n+1 entries; offsets[v+1]-offsets[v] is deg(v).
+	offsets []int32
 	byLabel map[int64]NodeID
 	m       int
+
+	portOnce sync.Once
+	portIdx  *PortIndex
 }
 
 // N reports the number of nodes.
-func (g *Graph) N() int { return len(g.adj) }
+func (g *Graph) N() int { return len(g.labels) }
 
 // M reports the number of undirected edges.
 func (g *Graph) M() int { return g.m }
 
 // Degree reports the degree of v.
-func (g *Graph) Degree(v NodeID) int { return len(g.adj[v]) }
+func (g *Graph) Degree(v NodeID) int { return int(g.offsets[v+1] - g.offsets[v]) }
+
+// Ports returns v's half-edges in port order as a view into the CSR
+// storage. Callers must treat the slice as read-only.
+func (g *Graph) Ports(v NodeID) []Half {
+	return g.halves[g.offsets[v]:g.offsets[v+1]]
+}
 
 // Label reports the label of v.
 func (g *Graph) Label(v NodeID) int64 { return g.labels[v] }
@@ -71,15 +91,15 @@ func (g *Graph) NodeByLabel(label int64) (NodeID, bool) {
 // Neighbor resolves port p at node v: it returns the neighbor u and the port
 // number at u of the same edge.
 func (g *Graph) Neighbor(v NodeID, p int) (NodeID, int) {
-	h := g.adj[v][p]
+	h := g.halves[int(g.offsets[v])+p]
 	return h.To, h.ToPort
 }
 
 // PortTo returns the port at u leading to v, or -1 if {u,v} is not an edge.
-// It is a linear scan over u's ports; callers on hot paths should build
-// their own index.
+// It is a linear scan over u's ports; callers on hot paths should use
+// PortIndex instead.
 func (g *Graph) PortTo(u, v NodeID) int {
-	for p, h := range g.adj[u] {
+	for p, h := range g.Ports(u) {
 		if h.To == v {
 			return p
 		}
@@ -90,22 +110,66 @@ func (g *Graph) PortTo(u, v NodeID) int {
 // HasEdge reports whether {u,v} is an edge.
 func (g *Graph) HasEdge(u, v NodeID) bool { return g.PortTo(u, v) >= 0 }
 
+// PortIndex answers PortTo queries in O(1) via a prebuilt map over all
+// directed half-edges. Obtain one from Graph.PortIndex.
+type PortIndex struct {
+	ports map[uint64]int32
+}
+
+// PortIndex returns the graph's O(1) port lookup, building it on first use.
+// The index is cached on the immutable graph, so concurrent callers share
+// one instance.
+func (g *Graph) PortIndex() *PortIndex {
+	g.portOnce.Do(func() {
+		ix := &PortIndex{ports: make(map[uint64]int32, len(g.halves))}
+		for v := NodeID(0); int(v) < g.N(); v++ {
+			for p, h := range g.Ports(v) {
+				ix.ports[portKey(v, h.To)] = int32(p)
+			}
+		}
+		g.portIdx = ix
+	})
+	return g.portIdx
+}
+
+func portKey(u, v NodeID) uint64 { return uint64(uint32(u))<<32 | uint64(uint32(v)) }
+
+// PortTo returns the port at u leading to v, or -1 if {u,v} is not an edge.
+func (ix *PortIndex) PortTo(u, v NodeID) int {
+	p, ok := ix.ports[portKey(u, v)]
+	if !ok {
+		return -1
+	}
+	return int(p)
+}
+
 // Edges returns all edges in canonical orientation, sorted by (U, V).
 func (g *Graph) Edges() []Edge {
 	edges := make([]Edge, 0, g.m)
+	sorted := true
 	for u := NodeID(0); int(u) < g.N(); u++ {
-		for pu, h := range g.adj[u] {
+		for pu, h := range g.Ports(u) {
 			if u < h.To {
+				if sorted && len(edges) > 0 {
+					last := edges[len(edges)-1]
+					if last.U > u || (last.U == u && last.V > h.To) {
+						sorted = false
+					}
+				}
 				edges = append(edges, Edge{U: u, V: h.To, PU: pu, PV: h.ToPort})
 			}
 		}
 	}
-	sort.Slice(edges, func(i, j int) bool {
-		if edges[i].U != edges[j].U {
-			return edges[i].U < edges[j].U
-		}
-		return edges[i].V < edges[j].V
-	})
+	// CSR iteration already ascends in U; skip the sort when the port
+	// numbering happens to ascend in V too (paths, grids, trees, ...).
+	if !sorted {
+		slices.SortFunc(edges, func(a, b Edge) int {
+			if a.U != b.U {
+				return int(a.U - b.U)
+			}
+			return int(a.V - b.V)
+		})
+	}
 	return edges
 }
 
@@ -123,9 +187,9 @@ func (g *Graph) MaxLabel() int64 {
 // MaxDegree returns the largest degree in the graph.
 func (g *Graph) MaxDegree() int {
 	maxDeg := 0
-	for v := range g.adj {
-		if len(g.adj[v]) > maxDeg {
-			maxDeg = len(g.adj[v])
+	for v := NodeID(0); int(v) < g.N(); v++ {
+		if d := g.Degree(v); d > maxDeg {
+			maxDeg = d
 		}
 	}
 	return maxDeg
@@ -165,12 +229,13 @@ func (g *Graph) BFS(root NodeID) *BFSResult {
 		res.Dist[v] = -1
 	}
 	res.Dist[root] = 0
-	queue := []NodeID{root}
+	queue := make([]NodeID, 1, n)
+	queue[0] = root
 	for len(queue) > 0 {
 		v := queue[0]
 		queue = queue[1:]
 		res.Order = append(res.Order, v)
-		for p, h := range g.adj[v] {
+		for p, h := range g.Ports(v) {
 			if res.Dist[h.To] >= 0 {
 				continue
 			}
@@ -236,8 +301,8 @@ func (g *Graph) Validate() error {
 			return fmt.Errorf("graph: duplicate label %d on nodes %d and %d", g.labels[v], prev, v)
 		}
 		seen[g.labels[v]] = v
-		neighbors := make(map[NodeID]bool, len(g.adj[v]))
-		for p, h := range g.adj[v] {
+		neighbors := make(map[NodeID]bool, g.Degree(v))
+		for p, h := range g.Ports(v) {
 			if h.To == v {
 				return fmt.Errorf("graph: self-loop at node %d port %d", v, p)
 			}
@@ -248,19 +313,16 @@ func (g *Graph) Validate() error {
 				return fmt.Errorf("graph: parallel edge between %d and %d", v, h.To)
 			}
 			neighbors[h.To] = true
-			if h.ToPort < 0 || h.ToPort >= len(g.adj[h.To]) {
+			if h.ToPort < 0 || h.ToPort >= g.Degree(h.To) {
 				return fmt.Errorf("graph: node %d port %d has reverse port %d out of range at node %d", v, p, h.ToPort, h.To)
 			}
-			back := g.adj[h.To][h.ToPort]
+			back := g.Ports(h.To)[h.ToPort]
 			if back.To != v || back.ToPort != p {
 				return fmt.Errorf("graph: asymmetric edge %d:%d <-> %d:%d", v, p, h.To, h.ToPort)
 			}
 		}
 	}
-	edgeCount := 0
-	for v := range g.adj {
-		edgeCount += len(g.adj[v])
-	}
+	edgeCount := len(g.halves)
 	if edgeCount != 2*g.m {
 		return fmt.Errorf("graph: edge count %d inconsistent with half-edge total %d", g.m, edgeCount)
 	}
@@ -367,9 +429,18 @@ func (b *Builder) Graph() (*Graph, error) {
 	if m%2 != 0 {
 		return nil, errors.New("graph: internal error: odd half-edge count")
 	}
+	// Flatten the builder's per-node slices into CSR form.
+	halves := make([]Half, 0, m)
+	offsets := make([]int32, len(b.adj)+1)
+	for v := range b.adj {
+		offsets[v] = int32(len(halves))
+		halves = append(halves, b.adj[v]...)
+	}
+	offsets[len(b.adj)] = int32(len(halves))
 	g := &Graph{
 		labels:  b.labels,
-		adj:     b.adj,
+		halves:  halves,
+		offsets: offsets,
 		byLabel: make(map[int64]NodeID, len(b.labels)),
 		m:       m / 2,
 	}

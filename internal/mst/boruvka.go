@@ -188,6 +188,7 @@ func phaseAdvice(g *graph.Graph, dsu *dsu, chosen []graph.Edge) (sim.Advice, map
 // concrete edges.
 func collectProposals(g *graph.Graph, nodes []scheme.Node, roots map[graph.NodeID]bool) ([]graph.Edge, error) {
 	var out []graph.Edge
+	portIdx := g.PortIndex()
 	for v := range roots {
 		nd, ok := nodes[v].(*phaseNode)
 		if !ok {
@@ -206,7 +207,7 @@ func collectProposals(g *graph.Graph, nodes []scheme.Node, roots map[graph.NodeI
 		if !uok || !wok {
 			return nil, fmt.Errorf("mst: proposal labels {%d,%d} unknown", nd.best.lo, nd.best.hi)
 		}
-		p := g.PortTo(u, w)
+		p := portIdx.PortTo(u, w)
 		if p < 0 {
 			return nil, fmt.Errorf("mst: proposal {%d,%d} is not an edge", nd.best.lo, nd.best.hi)
 		}

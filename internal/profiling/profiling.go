@@ -1,0 +1,52 @@
+// Package profiling wires the standard pprof file profiles into the
+// repository's CLIs, so campaign sweeps and experiment tables can be
+// profiled with the same workflow as `go test` benchmarks (see
+// docs/PERF.md).
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins a CPU profile and/or arranges a heap profile, as selected by
+// non-empty paths. The returned stop function must run at exit: it ends the
+// CPU profile and writes the allocs profile. Either path may be empty to
+// disable that profile; with both empty, Start is a no-op.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		cpuFile = f
+	}
+	stop = func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile reflects live data
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return stop, nil
+}

@@ -133,6 +133,16 @@ type Algorithm interface {
 	NewNode(info NodeInfo) Node
 }
 
+// NodeBatcher is an optional Algorithm extension for allocation-conscious
+// engines. NewNodes fills dst[i] with a fresh automaton for infos[i],
+// equivalent to n NewNode calls but free to batch-allocate the automata in
+// one backing array. dst and infos have equal length; implementations must
+// not retain either slice (the engine reuses them across runs), though the
+// automata themselves live for the whole run.
+type NodeBatcher interface {
+	NewNodes(infos []NodeInfo, dst []Node)
+}
+
 // Func adapts plain constructor functions to the Algorithm interface.
 type Func struct {
 	AlgoName string

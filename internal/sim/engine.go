@@ -3,6 +3,7 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"oraclesize/internal/bitstring"
 	"oraclesize/internal/graph"
@@ -54,7 +55,10 @@ type Result struct {
 	// Messages is the total number of sends (the paper's message
 	// complexity).
 	Messages int
-	// ByKind breaks Messages down per message kind.
+	// ByKind breaks Messages down per message kind. It is built once at
+	// run completion and is nil when the run sent no messages, so runs
+	// that never consult the breakdown pay nothing for the map (indexing
+	// a nil map reads as zero).
 	ByKind map[scheme.Kind]int
 	// Informed[v] reports whether v got the source message.
 	Informed []bool
@@ -78,50 +82,120 @@ type Result struct {
 	MaxNodeSends int
 }
 
+// Engine executes runs while reusing all per-run scratch state: the node
+// automaton table, delivery bookkeeping slices, the default scheduler's
+// queue storage, and the per-kind message counters. A zero Engine is ready
+// to use; an Engine is not safe for concurrent use (pool Engines per
+// worker, as the package-level Run does via a sync.Pool).
+//
+// Engine.Run is byte-identical in results to the package-level Run: same
+// message counts, same deterministic delivery orders.
+type Engine struct {
+	nodes     []scheme.Node
+	infos     []scheme.NodeInfo
+	delivered []bool // has v received anything yet
+	nodeTime  []int  // logical time of v's latest knowledge
+	nodeSends []int
+	fifo      fifoScheduler
+	kindCount [256]int
+	kindsUsed []scheme.Kind
+}
+
+// NewEngine returns a fresh engine. Buffers are grown on demand by Run and
+// retained across runs.
+func NewEngine() *Engine { return &Engine{} }
+
+// Reset sizes the engine's scratch state for a run on g, reusing existing
+// capacity. Run calls it internally; it is exported so callers that know
+// their largest graph can pre-size once.
+func (e *Engine) Reset(g *graph.Graph) {
+	n := g.N()
+	e.nodes = growSlice(e.nodes, n)
+	e.infos = growSlice(e.infos, n)
+	e.delivered = resetSlice(e.delivered, n)
+	e.nodeTime = resetSlice(e.nodeTime, n)
+	e.nodeSends = resetSlice(e.nodeSends, n)
+}
+
+// growSlice returns s resized to n without clearing (callers overwrite).
+func growSlice[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// resetSlice returns s resized to n with every element zeroed.
+func resetSlice[T bool | int](s []T, n int) []T {
+	s = growSlice(s, n)
+	clear(s)
+	return s
+}
+
+// enginePool backs the package-level Run so concurrent callers (campaign
+// workers, parallel benchmarks) each reuse a warm engine.
+var enginePool = sync.Pool{New: func() any { return NewEngine() }}
+
 // Run executes algo on g from the given source under the advice assignment,
 // delivering messages in the order chosen by the scheduler, until no message
 // is in flight. It returns the run summary, or an error if the message
 // budget is exhausted or wakeup legality is violated.
+//
+// Run draws a reusable Engine from an internal pool; it is safe for
+// concurrent use and allocation-light in steady state.
 func Run(g *graph.Graph, source graph.NodeID, algo scheme.Algorithm, advice Advice, opts Options) (*Result, error) {
+	e := enginePool.Get().(*Engine)
+	res, err := e.Run(g, source, algo, advice, opts)
+	enginePool.Put(e)
+	return res, err
+}
+
+// Run executes one simulation on the engine's reused buffers. See the
+// package-level Run for semantics; results are identical.
+func (e *Engine) Run(g *graph.Graph, source graph.NodeID, algo scheme.Algorithm, advice Advice, opts Options) (*Result, error) {
 	n := g.N()
 	if source < 0 || int(source) >= n {
 		return nil, fmt.Errorf("sim: source %d out of range [0,%d)", source, n)
 	}
 	sched := opts.Scheduler
 	if sched == nil {
-		sched = NewFIFO()
+		e.fifo.reset()
+		sched = &e.fifo
 	}
 	maxMessages := opts.MaxMessages
 	if maxMessages == 0 {
 		maxMessages = 64*(g.M()+n) + 1024
 	}
 
-	res := &Result{
-		ByKind:   make(map[scheme.Kind]int),
-		Informed: make([]bool, n),
-	}
+	e.Reset(g)
+	// Informed escapes with the Result, so it is the one tracking slice
+	// allocated fresh per run rather than drawn from the engine.
+	res := &Result{Informed: make([]bool, n)}
 	res.Informed[source] = true
 
-	nodes := make([]scheme.Node, n)
-	delivered := make([]bool, n) // has v received anything yet
-	nodeTime := make([]int, n)   // logical time of v's latest knowledge
 	for v := 0; v < n; v++ {
-		nodes[v] = algo.NewNode(scheme.NodeInfo{
+		e.infos[v] = scheme.NodeInfo{
 			Advice: advice[graph.NodeID(v)],
 			Source: graph.NodeID(v) == source,
 			Label:  g.Label(graph.NodeID(v)),
 			Degree: g.Degree(graph.NodeID(v)),
-		})
+		}
+	}
+	if nb, ok := algo.(scheme.NodeBatcher); ok {
+		nb.NewNodes(e.infos, e.nodes)
+	} else {
+		for v := 0; v < n; v++ {
+			e.nodes[v] = algo.NewNode(e.infos[v])
+		}
 	}
 
 	seq := 0
-	nodeSends := make([]int, n)
 	emit := func(from graph.NodeID, sends []scheme.Send) error {
 		for _, s := range sends {
 			if s.Port < 0 || s.Port >= g.Degree(from) {
 				return fmt.Errorf("sim: node %d sent on invalid port %d (degree %d)", from, s.Port, g.Degree(from))
 			}
-			if opts.EnforceWakeup && from != source && !delivered[from] {
+			if opts.EnforceWakeup && from != source && !e.delivered[from] {
 				return fmt.Errorf("%w: node %d transmitted before being woken", ErrWakeupViolation, from)
 			}
 			if res.Messages >= maxMessages {
@@ -131,37 +205,69 @@ func Run(g *graph.Graph, source graph.NodeID, algo scheme.Algorithm, advice Advi
 			msg.Informed = res.Informed[from]
 			to, toPort := g.Neighbor(from, s.Port)
 			res.Messages++
-			res.ByKind[msg.Kind]++
-			res.MessageBits += msg.SizeBits()
-			nodeSends[from]++
-			if nodeSends[from] > res.MaxNodeSends {
-				res.MaxNodeSends = nodeSends[from]
+			if e.kindCount[msg.Kind] == 0 {
+				e.kindsUsed = append(e.kindsUsed, msg.Kind)
 			}
-			opts.Recorder.Append(trace.Event{
-				Kind: trace.EventSend,
-				Node: from,
-				Peer: to,
-				Port: s.Port,
-				Msg:  msg,
-			})
+			e.kindCount[msg.Kind]++
+			res.MessageBits += msg.SizeBits()
+			e.nodeSends[from]++
+			if e.nodeSends[from] > res.MaxNodeSends {
+				res.MaxNodeSends = e.nodeSends[from]
+			}
+			if opts.Recorder != nil {
+				opts.Recorder.Append(trace.Event{
+					Kind: trace.EventSend,
+					Node: from,
+					Peer: to,
+					Port: s.Port,
+					Msg:  msg,
+				})
+			}
 			sched.Push(pending{
 				To:   to,
 				From: from,
 				Port: toPort,
 				Msg:  msg,
 				Seq:  seq,
-				Time: nodeTime[from] + 1,
+				Time: e.nodeTime[from] + 1,
 			})
 			seq++
 		}
 		return nil
 	}
 
+	finish := func(err error) (*Result, error) {
+		// Materialize the per-kind breakdown and clear the counters so the
+		// engine is reusable even after a failed run.
+		if len(e.kindsUsed) > 0 && err == nil {
+			res.ByKind = make(map[scheme.Kind]int, len(e.kindsUsed))
+		}
+		for _, k := range e.kindsUsed {
+			if err == nil {
+				res.ByKind[k] = e.kindCount[k]
+			}
+			e.kindCount[k] = 0
+		}
+		e.kindsUsed = e.kindsUsed[:0]
+		// Automata may be retained by the caller; sever the engine's
+		// references either way so pooled reuse cannot alias live state.
+		if err == nil && opts.RetainNodes {
+			res.Nodes = e.nodes
+			e.nodes = nil
+		} else {
+			clear(e.nodes)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
+
 	// Spontaneous phase: every node's Init runs before any delivery, as in
 	// the paper (schemes act on the empty history first).
 	for v := 0; v < n; v++ {
-		if err := emit(graph.NodeID(v), nodes[v].Init()); err != nil {
-			return nil, err
+		if err := emit(graph.NodeID(v), e.nodes[v].Init()); err != nil {
+			return finish(err)
 		}
 	}
 
@@ -174,28 +280,32 @@ func Run(g *graph.Graph, source graph.NodeID, algo scheme.Algorithm, advice Advi
 		if p.Time > res.Rounds {
 			res.Rounds = p.Time
 		}
-		delivered[p.To] = true
+		e.delivered[p.To] = true
 		if p.Msg.Informed && !res.Informed[p.To] {
 			res.Informed[p.To] = true
+			if opts.Recorder != nil {
+				opts.Recorder.Append(trace.Event{
+					Kind: trace.EventInformed,
+					Node: p.To,
+					Peer: -1,
+					Port: -1,
+				})
+			}
+		}
+		if p.Time > e.nodeTime[p.To] {
+			e.nodeTime[p.To] = p.Time
+		}
+		if opts.Recorder != nil {
 			opts.Recorder.Append(trace.Event{
-				Kind: trace.EventInformed,
+				Kind: trace.EventDeliver,
 				Node: p.To,
-				Peer: -1,
-				Port: -1,
+				Peer: p.From,
+				Port: p.Port,
+				Msg:  p.Msg,
 			})
 		}
-		if p.Time > nodeTime[p.To] {
-			nodeTime[p.To] = p.Time
-		}
-		opts.Recorder.Append(trace.Event{
-			Kind: trace.EventDeliver,
-			Node: p.To,
-			Peer: p.From,
-			Port: p.Port,
-			Msg:  p.Msg,
-		})
-		if err := emit(p.To, nodes[p.To].Receive(p.Msg, p.Port)); err != nil {
-			return nil, err
+		if err := emit(p.To, e.nodes[p.To].Receive(p.Msg, p.Port)); err != nil {
+			return finish(err)
 		}
 	}
 
@@ -206,8 +316,5 @@ func Run(g *graph.Graph, source graph.NodeID, algo scheme.Algorithm, advice Advi
 			break
 		}
 	}
-	if opts.RetainNodes {
-		res.Nodes = nodes
-	}
-	return res, nil
+	return finish(nil)
 }

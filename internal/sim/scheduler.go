@@ -56,6 +56,17 @@ func NewFIFO() Scheduler { return &fifoScheduler{} }
 
 func (s *fifoScheduler) Name() string { return "fifo" }
 
+// reset empties the queue while keeping its storage, so a reusable Engine
+// can run back-to-back simulations without reallocating. Consumed entries
+// were already zeroed by Pop, so no stale references survive.
+func (s *fifoScheduler) reset() {
+	for i := s.head; i < len(s.queue); i++ {
+		s.queue[i] = pending{}
+	}
+	s.queue = s.queue[:0]
+	s.head = 0
+}
+
 func (s *fifoScheduler) Push(p pending) { s.queue = append(s.queue, p) }
 
 func (s *fifoScheduler) Pop() (pending, bool) {

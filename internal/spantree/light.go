@@ -3,7 +3,7 @@ package spantree
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 
 	"oraclesize/internal/graph"
 )
@@ -31,13 +31,13 @@ func Light(g *graph.Graph) ([]graph.Edge, error) {
 	}
 
 	dsu := newDSU(n)
-	// members[root] lists the nodes of the tree whose DSU representative is
-	// root; maintained across unions.
-	members := make([][]graph.NodeID, n)
-	for v := 0; v < n; v++ {
-		members[v] = []graph.NodeID{graph.NodeID(v)}
-	}
-	var treeEdges []graph.Edge
+	// The member list of each tree is kept as an intrusive linked list
+	// (head/tail per representative, one next pointer per node), so unions
+	// concatenate in O(1) without per-tree slices.
+	members := newMemberLists(n)
+	treeEdges := make([]graph.Edge, 0, n-1)
+	reps := make([]graph.NodeID, 0, n)
+	var selected []graph.Edge
 
 	trees := n
 	for k := 1; trees > 1; k++ {
@@ -46,34 +46,33 @@ func Light(g *graph.Graph) ([]graph.Edge, error) {
 		}
 		threshold := 1 << uint(k)
 		// Collect the current tree representatives.
-		reps := make([]graph.NodeID, 0, trees)
+		reps = reps[:0]
 		for v := 0; v < n; v++ {
 			if dsu.find(graph.NodeID(v)) == graph.NodeID(v) {
 				reps = append(reps, graph.NodeID(v))
 			}
 		}
 		// Select, for each small tree, its minimum-weight outgoing edge.
-		var selected []graph.Edge
+		selected = selected[:0]
 		for _, r := range reps {
-			if len(members[r]) >= threshold {
+			if dsu.size[r] >= threshold {
 				continue
 			}
-			e, ok := minOutgoing(g, dsu, members[r])
+			e, ok := minOutgoing(g, dsu, members, r)
 			if !ok {
 				return nil, fmt.Errorf("spantree: tree at %d has no outgoing edge in a connected graph", r)
 			}
 			selected = append(selected, e)
 		}
 		// Deterministic merge order.
-		sort.Slice(selected, func(i, j int) bool {
-			a, b := selected[i], selected[j]
-			if Weight(a) != Weight(b) {
-				return Weight(a) < Weight(b)
+		slices.SortFunc(selected, func(a, b graph.Edge) int {
+			if wa, wb := Weight(a), Weight(b); wa != wb {
+				return wa - wb
 			}
 			if a.U != b.U {
-				return a.U < b.U
+				return int(a.U - b.U)
 			}
-			return a.V < b.V
+			return int(a.V - b.V)
 		})
 		// Add the selected edges; an edge whose endpoints were already
 		// merged this phase would close a cycle, which the paper's step 4
@@ -88,8 +87,7 @@ func Light(g *graph.Graph) ([]graph.Edge, error) {
 			if other == root {
 				other = rv
 			}
-			members[root] = append(members[root], members[other]...)
-			members[other] = nil
+			members.concat(root, other)
 			treeEdges = append(treeEdges, e)
 			trees--
 		}
@@ -97,17 +95,45 @@ func Light(g *graph.Graph) ([]graph.Edge, error) {
 	return treeEdges, nil
 }
 
-// minOutgoing finds a minimum-weight edge from the tree with the given
-// member list to the rest of the graph, breaking ties by canonical edge
-// order. ok is false when no outgoing edge exists.
-func minOutgoing(g *graph.Graph, dsu *dsu, treeMembers []graph.NodeID) (graph.Edge, bool) {
+// memberLists tracks the nodes of each forest tree as intrusive linked
+// lists keyed by DSU representative.
+type memberLists struct {
+	head []int32
+	tail []int32
+	next []int32 // -1 terminates
+}
+
+func newMemberLists(n int) *memberLists {
+	m := &memberLists{
+		head: make([]int32, n),
+		tail: make([]int32, n),
+		next: make([]int32, n),
+	}
+	for v := 0; v < n; v++ {
+		m.head[v] = int32(v)
+		m.tail[v] = int32(v)
+		m.next[v] = -1
+	}
+	return m
+}
+
+// concat appends the list of other onto root's.
+func (m *memberLists) concat(root, other graph.NodeID) {
+	m.next[m.tail[root]] = m.head[other]
+	m.tail[root] = m.tail[other]
+}
+
+// minOutgoing finds a minimum-weight edge from the tree rooted at the DSU
+// representative r to the rest of the graph, breaking ties by canonical
+// edge order. ok is false when no outgoing edge exists.
+func minOutgoing(g *graph.Graph, dsu *dsu, members *memberLists, r graph.NodeID) (graph.Edge, bool) {
 	var best graph.Edge
 	bestW := -1
-	self := dsu.find(treeMembers[0])
-	for _, v := range treeMembers {
+	for i := members.head[r]; i >= 0; i = members.next[i] {
+		v := graph.NodeID(i)
 		for p := 0; p < g.Degree(v); p++ {
 			u, q := g.Neighbor(v, p)
-			if dsu.find(u) == self {
+			if dsu.find(u) == r {
 				continue
 			}
 			e := graph.Edge{U: v, V: u, PU: p, PV: q}.Canonical()

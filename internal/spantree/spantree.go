@@ -8,7 +8,7 @@ package spantree
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 
 	"oraclesize/internal/bitstring"
 	"oraclesize/internal/graph"
@@ -45,8 +45,11 @@ type Tree struct {
 	ParentPort []int
 	// ChildPort[v] is the port at Parent[v] of the edge to v, -1 at the root.
 	ChildPort []int
-	// children[v] lists v's children in increasing child-port order.
-	children [][]graph.NodeID
+	// kids holds every node's children contiguously in CSR form, grouped by
+	// parent in increasing child-port order; kidOff[v]..kidOff[v+1] bounds
+	// v's group. Children returns zero-copy views into it.
+	kids   []Child
+	kidOff []int32
 }
 
 // Child is a tree child with the port leading to it from the parent.
@@ -60,14 +63,10 @@ type Child struct {
 func (t *Tree) N() int { return len(t.Parent) }
 
 // Children returns v's children with the parent-side ports, in increasing
-// port order.
+// port order. The returned slice is a view into the tree and must not be
+// mutated.
 func (t *Tree) Children(v graph.NodeID) []Child {
-	kids := t.children[v]
-	out := make([]Child, len(kids))
-	for i, c := range kids {
-		out[i] = Child{Node: c, Port: t.ChildPort[c]}
-	}
-	return out
+	return t.kids[t.kidOff[v]:t.kidOff[v+1]]
 }
 
 // Edges returns the n-1 tree edges in canonical orientation.
@@ -131,7 +130,6 @@ func newTree(n int, root graph.NodeID) *Tree {
 		Parent:     make([]graph.NodeID, n),
 		ParentPort: make([]int, n),
 		ChildPort:  make([]int, n),
-		children:   make([][]graph.NodeID, n),
 	}
 	for v := range t.Parent {
 		t.Parent[v] = -1
@@ -142,17 +140,30 @@ func newTree(n int, root graph.NodeID) *Tree {
 }
 
 func (t *Tree) fillChildren() {
-	for v := range t.children {
-		t.children[v] = t.children[v][:0]
-	}
+	n := t.N()
+	t.kidOff = make([]int32, n+1)
 	for v := range t.Parent {
 		if p := t.Parent[v]; p >= 0 {
-			t.children[p] = append(t.children[p], graph.NodeID(v))
+			t.kidOff[p+1]++
 		}
 	}
-	for v := range t.children {
-		kids := t.children[v]
-		sort.Slice(kids, func(i, j int) bool { return t.ChildPort[kids[i]] < t.ChildPort[kids[j]] })
+	for v := 0; v < n; v++ {
+		t.kidOff[v+1] += t.kidOff[v]
+	}
+	t.kids = make([]Child, t.kidOff[n])
+	cursor := make([]int32, n)
+	copy(cursor, t.kidOff[:n])
+	for v := range t.Parent {
+		if p := t.Parent[v]; p >= 0 {
+			t.kids[cursor[p]] = Child{Node: graph.NodeID(v), Port: t.ChildPort[v]}
+			cursor[p]++
+		}
+	}
+	byPort := func(a, b Child) int { return a.Port - b.Port }
+	for v := 0; v < n; v++ {
+		if seg := t.kids[t.kidOff[v]:t.kidOff[v+1]]; !slices.IsSortedFunc(seg, byPort) {
+			slices.SortFunc(seg, byPort)
+		}
 	}
 }
 

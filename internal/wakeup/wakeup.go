@@ -62,12 +62,18 @@ func (o Oracle) Advise(g *graph.Graph, source graph.NodeID) (sim.Advice, error) 
 	// Port numbers are < n; the paper uses exactly ceil(log n)-bit fields.
 	width := oracle.FieldWidth(g.N())
 	advice := make(sim.Advice, g.N())
+	var w bitstring.Writer
 	for v := graph.NodeID(0); int(v) < g.N(); v++ {
 		kids := tree.Children(v)
 		if len(kids) == 0 {
 			continue // leaves get the empty string
 		}
-		advice[v] = encodeChildPorts(kids, width)
+		w.Reset()
+		w.AppendDoubled(uint64(width))
+		for _, c := range kids {
+			w.WriteFixed(uint64(c.Port), width)
+		}
+		advice[v] = w.String()
 	}
 	return advice, nil
 }
@@ -145,6 +151,16 @@ func (Algorithm) NewNode(info scheme.NodeInfo) scheme.Node {
 	return &node{info: info}
 }
 
+// NewNodes implements scheme.NodeBatcher: all automata of a run share one
+// backing array instead of n individual heap objects.
+func (Algorithm) NewNodes(infos []scheme.NodeInfo, dst []scheme.Node) {
+	backing := make([]node, len(infos))
+	for i, info := range infos {
+		backing[i].info = info
+		dst[i] = &backing[i]
+	}
+}
+
 type node struct {
 	info  scheme.NodeInfo
 	awake bool
@@ -167,18 +183,33 @@ func (nd *node) Receive(msg scheme.Message, _ int) []scheme.Send {
 }
 
 func (nd *node) forward() []scheme.Send {
-	ports, err := DecodeChildPorts(nd.info.Advice)
-	if err != nil {
-		// A scheme has no error channel; malformed advice means a buggy
-		// oracle pairing, surfaced as a stalled (incomplete) run.
+	// Decode straight into the send list with a stack Reader; semantically
+	// DecodeChildPorts followed by the port-validity filter, without the
+	// intermediate ports slice. Malformed advice means a buggy oracle
+	// pairing — a scheme has no error channel, so it surfaces as a stalled
+	// (incomplete) run.
+	if nd.info.Advice.Empty() {
 		return nil
 	}
-	sends := make([]scheme.Send, 0, len(ports))
-	for _, p := range ports {
-		if p < 0 || p >= nd.info.Degree {
-			continue
+	var r bitstring.Reader
+	r.Reset(nd.info.Advice)
+	width64, err := r.ReadDoubled()
+	if err != nil {
+		return nil
+	}
+	width := int(width64)
+	if width <= 0 || width > 62 || r.Remaining()%width != 0 {
+		return nil
+	}
+	sends := make([]scheme.Send, 0, r.Remaining()/width)
+	for r.Remaining() > 0 {
+		p64, err := r.ReadFixed(width)
+		if err != nil {
+			return nil
 		}
-		sends = append(sends, scheme.Send{Port: p, Msg: scheme.Message{Kind: scheme.KindM}})
+		if p := int(p64); p >= 0 && p < nd.info.Degree {
+			sends = append(sends, scheme.Send{Port: p, Msg: scheme.Message{Kind: scheme.KindM}})
+		}
 	}
 	return sends
 }
@@ -194,6 +225,15 @@ func (Flooding) Name() string { return "wakeup-flooding" }
 // NewNode implements scheme.Algorithm.
 func (Flooding) NewNode(info scheme.NodeInfo) scheme.Node {
 	return &floodNode{info: info}
+}
+
+// NewNodes implements scheme.NodeBatcher.
+func (Flooding) NewNodes(infos []scheme.NodeInfo, dst []scheme.Node) {
+	backing := make([]floodNode, len(infos))
+	for i, info := range infos {
+		backing[i].info = info
+		dst[i] = &backing[i]
+	}
 }
 
 type floodNode struct {
