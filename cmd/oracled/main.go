@@ -1,0 +1,103 @@
+// Command oracled serves this repository's oracle constructions and
+// simulation engines as a long-running HTTP/JSON daemon:
+//
+//	POST /v1/advice        generate an instance, run an oracle, report advice sizes
+//	POST /v1/run           one task/oracle/scheduler simulation (oraclesim as an API)
+//	POST /v1/campaign      submit an async campaign (JSONL artifact on disk)
+//	GET  /v1/campaign/{id} poll a submitted campaign
+//	GET  /healthz          liveness and load snapshot
+//	GET  /metrics          Prometheus text-format metrics
+//
+// Load is bounded end to end: simulation requests pass through a fixed-size
+// work queue (full queue: 503 + Retry-After), every request carries a
+// deadline (expiry: 504), and request sizes are capped. On SIGINT/SIGTERM
+// the daemon stops accepting connections, drains in-flight requests up to
+// -drain, then waits for running campaigns before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"oraclesize/internal/service"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("oracled", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	var (
+		addr     = fs.String("addr", ":8080", "listen address")
+		workers  = fs.Int("workers", 0, "simulation workers (0 = GOMAXPROCS)")
+		queue    = fs.Int("queue", 64, "work queue depth; a full queue sheds load with 503")
+		timeout  = fs.Duration("timeout", 30*time.Second, "per-request deadline (queue wait + execution)")
+		drain    = fs.Duration("drain", 15*time.Second, "graceful shutdown drain budget")
+		maxNodes = fs.Int("max-nodes", 4096, "largest accepted n")
+		maxEdges = fs.Int("max-edges", 1<<20, "largest accepted instance edge count")
+		cache    = fs.Int("cache", 128, "instance cache capacity (entries)")
+		artifact = fs.String("artifacts", "", "campaign artifact directory (default: OS temp dir)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	svc := service.New(service.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		RequestTimeout: *timeout,
+		MaxNodes:       *maxNodes,
+		MaxEdges:       *maxEdges,
+		CacheCapacity:  *cache,
+		ArtifactDir:    *artifact,
+	})
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(out, "oracled listening on %s\n", *addr)
+
+	select {
+	case <-ctx.Done():
+		// Graceful drain: stop accepting connections, let in-flight
+		// requests finish, then retire the worker set and wait for
+		// campaigns. Requests already admitted keep their responses.
+		fmt.Fprintf(out, "oracled: signal received, draining (budget %s)\n", *drain)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintf(errOut, "oracled: drain incomplete: %v\n", err)
+		}
+		svc.Stop()
+		if !svc.CampaignWait(*drain) {
+			fmt.Fprintln(errOut, "oracled: exiting with campaigns still running")
+			return 1
+		}
+		fmt.Fprintln(out, "oracled: drained cleanly")
+		return 0
+	case err := <-serveErr:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(errOut, "oracled: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+}

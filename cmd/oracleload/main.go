@@ -1,0 +1,244 @@
+// Command oracleload is a closed-loop load generator for oracled. It runs
+// a fixed set of concurrent clients, each issuing the next request as soon
+// as the previous response arrives, and appends a labeled throughput and
+// latency entry to BENCH_serve.json — the serving-path companion to
+// BENCH_sim.json, so successive PRs leave a comparable perf series.
+//
+//	oracleload [-url http://host:8080] [-c 8] [-d 5s] [-task broadcast]
+//	           [-family random] [-n 256] [-seeds 8] [-label current]
+//	           [-o BENCH_serve.json]
+//
+// With no -url, oracleload spins up an in-process oracled (no network) and
+// drives it through its handler — the mode CI's smoke job uses.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"oraclesize/internal/service"
+)
+
+// File is the BENCH_serve.json document.
+type File struct {
+	Schema  string  `json:"schema"`
+	Entries []Entry `json:"entries"`
+}
+
+// Entry is one oracleload invocation.
+type Entry struct {
+	Label       string  `json:"label"`
+	Go          string  `json:"go"`
+	GOOS        string  `json:"goos"`
+	GOARCH      string  `json:"goarch"`
+	Task        string  `json:"task"`
+	Family      string  `json:"family"`
+	Nodes       int     `json:"nodes"`
+	Seeds       int     `json:"seeds"`
+	Clients     int     `json:"clients"`
+	DurationSec float64 `json:"duration_sec"`
+	Requests    int64   `json:"requests"`
+	Errors      int64   `json:"errors"`
+	Shed        int64   `json:"shed"`
+	Throughput  float64 `json:"requests_per_sec"`
+	P50NS       int64   `json:"p50_ns"`
+	P90NS       int64   `json:"p90_ns"`
+	P99NS       int64   `json:"p99_ns"`
+	MaxNS       int64   `json:"max_ns"`
+	MeanNS      int64   `json:"mean_ns"`
+}
+
+const schema = "oraclesize/serve/v1"
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("oracleload", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	var (
+		baseURL = fs.String("url", "", "oracled base URL (empty: drive an in-process server)")
+		clients = fs.Int("c", 8, "concurrent closed-loop clients")
+		dur     = fs.Duration("d", 5*time.Second, "load duration")
+		task    = fs.String("task", "broadcast", "task for /v1/run requests")
+		family  = fs.String("family", "random-sparse", "graph family")
+		n       = fs.Int("n", 256, "graph size")
+		seeds   = fs.Int("seeds", 8, "distinct instance seeds to rotate through")
+		label   = fs.String("label", "current", "label for this entry")
+		outPath = fs.String("o", "BENCH_serve.json", "serve trajectory file to append to")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *clients < 1 || *seeds < 1 {
+		fmt.Fprintln(errOut, "oracleload: -c and -seeds must be >= 1")
+		return 2
+	}
+
+	url := *baseURL
+	httpClient := http.DefaultClient
+	if url == "" {
+		svc := service.New(service.Config{})
+		defer svc.Stop()
+		ts := httptest.NewServer(svc.Handler())
+		defer ts.Close()
+		url = ts.URL
+		httpClient = ts.Client()
+	}
+
+	type runReq struct {
+		Family string `json:"family"`
+		N      int    `json:"n"`
+		Seed   int64  `json:"seed"`
+		Task   string `json:"task"`
+	}
+	bodies := make([][]byte, *seeds)
+	for i := range bodies {
+		b, err := json.Marshal(runReq{Family: *family, N: *n, Seed: int64(i + 1), Task: *task})
+		if err != nil {
+			fmt.Fprintln(errOut, err)
+			return 1
+		}
+		bodies[i] = b
+	}
+
+	// Warm the instance cache so the measured window reflects steady state.
+	for _, b := range bodies {
+		resp, err := httpClient.Post(url+"/v1/run", "application/json", bytes.NewReader(b))
+		if err != nil {
+			fmt.Fprintf(errOut, "oracleload: warmup: %v\n", err)
+			return 1
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			fmt.Fprintf(errOut, "oracleload: warmup request returned %d\n", resp.StatusCode)
+			return 1
+		}
+	}
+
+	var (
+		requests atomic.Int64
+		errs     atomic.Int64
+		shed     atomic.Int64
+		latMu    sync.Mutex
+		lats     []time.Duration
+	)
+	deadline := time.Now().Add(*dur)
+	var wg sync.WaitGroup
+	wg.Add(*clients)
+	for c := 0; c < *clients; c++ {
+		c := c
+		go func() {
+			defer wg.Done()
+			local := make([]time.Duration, 0, 4096)
+			for i := 0; time.Now().Before(deadline); i++ {
+				body := bodies[(c+i)%len(bodies)]
+				start := time.Now()
+				resp, err := httpClient.Post(url+"/v1/run", "application/json", bytes.NewReader(body))
+				elapsed := time.Since(start)
+				requests.Add(1)
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch {
+				case resp.StatusCode == http.StatusOK:
+					local = append(local, elapsed)
+				case resp.StatusCode == http.StatusServiceUnavailable:
+					shed.Add(1)
+				default:
+					errs.Add(1)
+				}
+			}
+			latMu.Lock()
+			lats = append(lats, local...)
+			latMu.Unlock()
+		}()
+	}
+	wg.Wait()
+
+	if len(lats) == 0 {
+		fmt.Fprintln(errOut, "oracleload: no successful requests")
+		return 1
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(p float64) int64 {
+		idx := int(p * float64(len(lats)-1))
+		return lats[idx].Nanoseconds()
+	}
+	var sum time.Duration
+	for _, l := range lats {
+		sum += l
+	}
+
+	entry := Entry{
+		Label:       *label,
+		Go:          runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		Task:        *task,
+		Family:      *family,
+		Nodes:       *n,
+		Seeds:       *seeds,
+		Clients:     *clients,
+		DurationSec: dur.Seconds(),
+		Requests:    requests.Load(),
+		Errors:      errs.Load(),
+		Shed:        shed.Load(),
+		Throughput:  float64(len(lats)) / dur.Seconds(),
+		P50NS:       pct(0.50),
+		P90NS:       pct(0.90),
+		P99NS:       pct(0.99),
+		MaxNS:       lats[len(lats)-1].Nanoseconds(),
+		MeanNS:      (sum / time.Duration(len(lats))).Nanoseconds(),
+	}
+
+	fmt.Fprintf(out, "%s: %d req in %s (%0.0f req/s ok), %d shed, %d errors\n",
+		*label, entry.Requests, *dur, entry.Throughput, entry.Shed, entry.Errors)
+	fmt.Fprintf(out, "latency p50 %s  p90 %s  p99 %s  max %s\n",
+		time.Duration(entry.P50NS), time.Duration(entry.P90NS),
+		time.Duration(entry.P99NS), time.Duration(entry.MaxNS))
+
+	doc := File{Schema: schema}
+	if data, err := os.ReadFile(*outPath); err == nil {
+		if err := json.Unmarshal(data, &doc); err != nil {
+			fmt.Fprintf(errOut, "oracleload: %s exists but is not a serve file: %v\n", *outPath, err)
+			return 1
+		}
+		if doc.Schema != schema {
+			fmt.Fprintf(errOut, "oracleload: %s has schema %q, want %q\n", *outPath, doc.Schema, schema)
+			return 1
+		}
+	} else if !os.IsNotExist(err) {
+		fmt.Fprintln(errOut, err)
+		return 1
+	}
+	doc.Entries = append(doc.Entries, entry)
+
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(errOut, err)
+		return 1
+	}
+	if err := os.WriteFile(*outPath, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(errOut, err)
+		return 1
+	}
+	fmt.Fprintf(out, "wrote entry %q to %s (%d entries)\n", *label, *outPath, len(doc.Entries))
+	return 0
+}

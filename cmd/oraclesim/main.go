@@ -1,7 +1,9 @@
 // Command oraclesim runs one distributed task on one network under one
 // oracle and prints the oracle size, message count, and verdicts — a
 // command-line microscope for the paper's constructions and this
-// repository's extensions.
+// repository's extensions. All names (families, tasks, oracles/schemes,
+// schedulers) resolve through internal/catalog, the same registry behind
+// cmd/campaign and the oracled service.
 //
 // Examples:
 //
@@ -21,15 +23,11 @@ import (
 	"os"
 	"strings"
 
-	"oraclesize/internal/broadcast"
-	"oraclesize/internal/election"
-	"oraclesize/internal/gossip"
+	"oraclesize/internal/catalog"
 	"oraclesize/internal/graph"
-	"oraclesize/internal/graphgen"
 	"oraclesize/internal/oracle"
 	"oraclesize/internal/scheme"
 	"oraclesize/internal/sim"
-	"oraclesize/internal/wakeup"
 )
 
 func main() {
@@ -40,11 +38,11 @@ func run(args []string, out, errOut io.Writer) int {
 	fs := flag.NewFlagSet("oraclesim", flag.ContinueOnError)
 	fs.SetOutput(errOut)
 	var (
-		familyName = fs.String("family", "random-sparse", "graph family: "+familyNames())
+		familyName = fs.String("family", "random-sparse", "graph family: "+strings.Join(catalog.FamilyNames(), " | "))
 		n          = fs.Int("n", 256, "requested network size")
-		task       = fs.String("task", "broadcast", "task: wakeup | broadcast | gossip | election")
-		oracleName = fs.String("oracle", "paper", "oracle: paper | none | full-map | mark (election)")
-		schedName  = fs.String("scheduler", "fifo", "scheduler: fifo | lifo | random | delay")
+		task       = fs.String("task", "broadcast", "task: "+strings.Join(catalog.TaskNames(), " | "))
+		oracleName = fs.String("oracle", "paper", "oracle scheme (canonical name or alias, e.g. paper | none | full-map | mark)")
+		schedName  = fs.String("scheduler", "fifo", "scheduler: "+strings.Join(catalog.SchedulerNames(), " | "))
 		engine     = fs.String("engine", "queue", "engine: queue | goroutines")
 		seed       = fs.Int64("seed", 1, "random seed")
 		source     = fs.Int("source", 0, "source node index")
@@ -53,7 +51,7 @@ func run(args []string, out, errOut io.Writer) int {
 		return 2
 	}
 
-	fam, err := graphgen.FamilyByName(*familyName)
+	fam, err := catalog.FamilyByName(*familyName)
 	if err != nil {
 		return fail(errOut, err)
 	}
@@ -66,7 +64,15 @@ func run(args []string, out, errOut io.Writer) int {
 	}
 	src := graph.NodeID(*source)
 
-	advice, algo, enforce, err := selectAlgo(*task, *oracleName, g, src)
+	td, err := catalog.TaskByName(*task)
+	if err != nil {
+		return fail(errOut, err)
+	}
+	sc, err := td.SchemeByName(*oracleName)
+	if err != nil {
+		return fail(errOut, err)
+	}
+	advice, err := sc.NewOracle(src).Advise(g, src)
 	if err != nil {
 		return fail(errOut, err)
 	}
@@ -74,40 +80,40 @@ func run(args []string, out, errOut io.Writer) int {
 	var res *sim.Result
 	switch *engine {
 	case "queue":
-		factory, ok := sim.Schedulers(*seed)[*schedName]
-		if !ok {
-			return fail(errOut, fmt.Errorf("unknown scheduler %q", *schedName))
+		sched, err := catalog.SchedulerByName(*schedName, *seed)
+		if err != nil {
+			return fail(errOut, err)
 		}
 		opts := sim.Options{
-			Scheduler:     factory(),
-			EnforceWakeup: enforce,
+			Scheduler:     sched,
+			EnforceWakeup: td.EnforceWakeup,
 			RetainNodes:   true,
 			// Election by max-label flooding legitimately costs O(n·m).
-			MaxMessages: 4*g.N()*g.M() + 1024,
+			MaxMessages: catalog.MessageBudget(g),
 		}
-		res, err = sim.Run(g, src, algo, advice, opts)
+		res, err = sim.Run(g, src, sc.Algo, advice, opts)
+		if err != nil {
+			return fail(errOut, err)
+		}
 	case "goroutines":
-		res, err = sim.RunConcurrent(g, src, algo, advice, 4*g.N()*g.M()+1024)
+		if td.NeedsNodes {
+			return fail(errOut, fmt.Errorf("%s verification needs -engine queue", *task))
+		}
+		res, err = sim.RunConcurrent(g, src, sc.Algo, advice, catalog.MessageBudget(g))
+		if err != nil {
+			return fail(errOut, err)
+		}
 	default:
 		return fail(errOut, fmt.Errorf("unknown engine %q", *engine))
-	}
-	if err != nil {
-		return fail(errOut, err)
 	}
 
 	// Completion criterion is task-specific: dissemination tasks require
 	// every node informed; election requires a valid unanimous decision.
-	complete := res.AllInformed
-	if *task == "election" {
-		if *engine == "goroutines" {
-			return fail(errOut, fmt.Errorf("election verification needs -engine queue"))
-		}
-		complete = election.Verify(res.Nodes) == nil
-	}
+	complete := td.Check(res) == nil
 
 	stats := oracle.Stats(advice)
 	fmt.Fprintf(out, "network      %s  n=%d m=%d maxdeg=%d\n", *familyName, g.N(), g.M(), g.MaxDegree())
-	fmt.Fprintf(out, "task         %s  (algorithm %s)\n", *task, algo.Name())
+	fmt.Fprintf(out, "task         %s  (algorithm %s)\n", *task, sc.Algo.Name())
 	fmt.Fprintf(out, "oracle       %s  size=%d bits  max-node=%d bits  nonempty-nodes=%d\n",
 		*oracleName, stats.TotalBits, stats.MaxNodeBits, stats.NonEmptyNodes)
 	fmt.Fprintf(out, "engine       %s/%s\n", *engine, *schedName)
@@ -125,60 +131,6 @@ func run(args []string, out, errOut io.Writer) int {
 		return 1
 	}
 	return 0
-}
-
-func selectAlgo(task, oracleName string, g *graph.Graph, src graph.NodeID) (sim.Advice, scheme.Algorithm, bool, error) {
-	switch task {
-	case "wakeup":
-		switch oracleName {
-		case "paper":
-			advice, err := wakeup.Oracle{}.Advise(g, src)
-			return advice, wakeup.Algorithm{}, true, err
-		case "none":
-			return nil, wakeup.Flooding{}, true, nil
-		case "full-map":
-			advice, err := oracle.FullMap{}.Advise(g, src)
-			return advice, wakeup.FullMapAlgorithm{}, true, err
-		}
-	case "broadcast":
-		switch oracleName {
-		case "paper":
-			advice, err := broadcast.Oracle{}.Advise(g, src)
-			return advice, broadcast.Algorithm{}, false, err
-		case "none":
-			return nil, broadcast.Flooding{}, false, nil
-		case "full-map":
-			advice, err := oracle.FullMap{}.Advise(g, src)
-			return advice, wakeup.FullMapAlgorithm{}, false, err
-		}
-	case "gossip":
-		if oracleName == "paper" {
-			advice, err := gossip.Oracle{Root: src}.Advise(g, src)
-			return advice, gossip.Algorithm{}, false, err
-		}
-	case "election":
-		switch oracleName {
-		case "paper":
-			advice, err := election.TreeOracle{}.Advise(g, src)
-			return advice, election.MarkedTree{}, false, err
-		case "none":
-			return nil, election.MaxLabelFlood{}, false, nil
-		case "mark":
-			advice, err := election.MarkOracle{}.Advise(g, src)
-			return advice, election.MarkedFlood{}, false, err
-		}
-	default:
-		return nil, nil, false, fmt.Errorf("unknown task %q", task)
-	}
-	return nil, nil, false, fmt.Errorf("unknown oracle %q for task %q", oracleName, task)
-}
-
-func familyNames() string {
-	var names []string
-	for _, f := range graphgen.Families() {
-		names = append(names, f.Name)
-	}
-	return strings.Join(names, " | ")
 }
 
 func fail(errOut io.Writer, err error) int {

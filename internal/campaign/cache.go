@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -39,9 +40,9 @@ func newInstanceCache(capacity int) *instanceCache {
 
 // instanceEntry is one cached instance. The graph is generated at most once
 // (workers that race on a fresh entry block on the Once); advice is
-// computed at most once per oracle name under the entry lock. Both the
-// graph and the advice map values are immutable after construction, so
-// concurrent units may share them freely.
+// computed at most once per (oracle name, source) under the entry lock.
+// Both the graph and the advice map values are immutable after
+// construction, so concurrent units may share them freely.
 type instanceEntry struct {
 	genOnce sync.Once
 	g       *graph.Graph
@@ -56,10 +57,9 @@ type adviceResult struct {
 	err    error
 }
 
-// instance returns the entry for u's (family, n, trial) instance,
-// generating the graph on first use from the unit's instance seed.
-func (c *instanceCache) instance(u Unit, fam graphgen.Family) (*instanceEntry, error) {
-	key := u.InstanceKey()
+// lookup returns the entry stored under key, generating the graph on first
+// use from the given seed.
+func (c *instanceCache) lookup(key string, n int, seed int64, fam graphgen.Family) (*instanceEntry, error) {
 	c.mu.Lock()
 	e, ok := c.entries[key]
 	if !ok {
@@ -80,23 +80,99 @@ func (c *instanceCache) instance(u Unit, fam graphgen.Family) (*instanceEntry, e
 		c.misses.Add(1)
 	}
 	e.genOnce.Do(func() {
-		rng := rand.New(rand.NewSource(u.InstanceSeed))
-		e.g, e.genErr = fam.Generate(u.N, rng)
+		rng := rand.New(rand.NewSource(seed))
+		e.g, e.genErr = fam.Generate(n, rng)
 	})
 	return e, e.genErr
 }
 
-// advise returns o's advice for the entry's graph, computed once per oracle
-// name. Oracles are deterministic in (graph, source), and every task unit
-// broadcasts from node 0, so the name fully identifies the result.
+// instance returns the entry for u's (family, n, trial) instance,
+// generating the graph on first use from the unit's instance seed.
+func (c *instanceCache) instance(u Unit, fam graphgen.Family) (*instanceEntry, error) {
+	return c.lookup(u.InstanceKey(), u.N, u.InstanceSeed, fam)
+}
+
+// advise returns o's advice for the entry's graph, computed once per
+// (oracle name, source). Oracles are deterministic in (graph, source), so
+// the pair fully identifies the result; campaign units always use source 0,
+// the serving path varies it.
 func (e *instanceEntry) advise(o oracle.Oracle, source graph.NodeID) (sim.Advice, error) {
-	name := o.Name()
+	key := fmt.Sprintf("%s@%d", o.Name(), source)
 	e.mu.Lock()
-	r, ok := e.advice[name]
+	r, ok := e.advice[key]
 	if !ok {
 		r.advice, r.err = o.Advise(e.g, source)
-		e.advice[name] = r
+		e.advice[key] = r
 	}
 	e.mu.Unlock()
 	return r.advice, r.err
+}
+
+// CacheStats is a point-in-time snapshot of instance-cache effectiveness.
+// Hits reused a shared graph instance; misses generated one. Cache state
+// never affects record contents, only speed.
+type CacheStats struct {
+	Hits   int64
+	Misses int64
+}
+
+// Lookups is the total number of instance resolutions.
+func (s CacheStats) Lookups() int64 { return s.Hits + s.Misses }
+
+// HitRatio is Hits/Lookups, or 0 before any lookup.
+func (s CacheStats) HitRatio() float64 {
+	if total := s.Lookups(); total > 0 {
+		return float64(s.Hits) / float64(total)
+	}
+	return 0
+}
+
+// Sub returns the stats accumulated since an earlier snapshot.
+func (s CacheStats) Sub(earlier CacheStats) CacheStats {
+	return CacheStats{Hits: s.Hits - earlier.Hits, Misses: s.Misses - earlier.Misses}
+}
+
+// Cache is the exported handle on a bounded instance cache, for callers
+// that keep one alive across many executions (the oracled service shares
+// one between its request handlers and its campaign runs). The zero value
+// is not usable; construct with NewCache.
+type Cache struct {
+	c *instanceCache
+}
+
+// NewCache returns a cache bounded to the given number of instances
+// (minimum 1), evicted FIFO.
+func NewCache(capacity int) *Cache {
+	return &Cache{c: newInstanceCache(capacity)}
+}
+
+// Stats snapshots the cumulative hit/miss counters.
+func (c *Cache) Stats() CacheStats {
+	return CacheStats{Hits: c.c.hits.Load(), Misses: c.c.misses.Load()}
+}
+
+// Instance resolves the cached instance of fam at the requested size and
+// seed, generating it on first use. The returned Instance shares immutable
+// state; it remains valid after eviction.
+func (c *Cache) Instance(fam graphgen.Family, n int, seed int64) (*Instance, error) {
+	key := fmt.Sprintf("instance/%s/n%d/s%d", fam.Name, n, seed)
+	e, err := c.c.lookup(key, n, seed, fam)
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{e: e}, nil
+}
+
+// Instance is one cached graph plus its memoized per-oracle advice.
+type Instance struct {
+	e *instanceEntry
+}
+
+// Graph returns the generated graph. Callers must treat it as immutable.
+func (i *Instance) Graph() *graph.Graph { return i.e.g }
+
+// Advice returns o's advice on the instance from the given source,
+// computing it at most once per (oracle name, source).
+func (i *Instance) Advice(o oracle.Oracle, source graph.NodeID) (sim.Advice, error) {
+	return i.e.advise(o, source)
 }

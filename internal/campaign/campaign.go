@@ -89,9 +89,8 @@ func (s *Spec) Validate() error {
 			return err
 		}
 		for _, sc := range ts.Schemes {
-			if _, ok := td.schemes[sc]; !ok {
-				return fmt.Errorf("campaign: task %q has no scheme %q (have %v)",
-					ts.Task, sc, td.schemeOrder)
+			if _, err := td.SchemeByName(sc); err != nil {
+				return fmt.Errorf("campaign: %w", err)
 			}
 		}
 	}

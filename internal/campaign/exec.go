@@ -13,6 +13,10 @@ type RunOptions struct {
 	// Done marks unit keys already present in the sink; those units are
 	// skipped (resume semantics). Nil means run everything.
 	Done map[string]bool
+	// Cache, if non-nil, is a shared instance cache to run against (the
+	// oracled service pools one across campaigns and request handlers). Nil
+	// means a private, appropriately sized cache per execution.
+	Cache *Cache
 	// Progress, if non-nil, is called after each unit flushes or is
 	// skipped, with the number of handled units and the total.
 	Progress func(done, total int)
@@ -52,7 +56,11 @@ func Run(spec *Spec, sink *Sink, opts RunOptions) (Stats, error) {
 	// The unit order revisits an instance across schemes after at most
 	// Trials intervening units, so Trials entries plus in-flight slack keeps
 	// the scheme fan-out at a ~100% hit rate without unbounded growth.
-	cache := newInstanceCache(spec.Trials + 2*workers + 8)
+	cache := opts.Cache
+	if cache == nil {
+		cache = NewCache(spec.Trials + 2*workers + 8)
+	}
+	before := cache.Stats()
 	var executed, skipped atomic.Int64
 	err := Pool{Workers: opts.Workers}.Run(len(units), func(i int) error {
 		u := units[i]
@@ -62,7 +70,7 @@ func Run(spec *Spec, sink *Sink, opts RunOptions) (Stats, error) {
 				return err
 			}
 		} else {
-			recs, err := runUnit(spec, specHash, u, cache)
+			recs, err := runUnit(spec, specHash, u, cache.c)
 			if err != nil {
 				return fmt.Errorf("campaign: unit %s: %w", u.Key(), err)
 			}
@@ -76,13 +84,15 @@ func Run(spec *Spec, sink *Sink, opts RunOptions) (Stats, error) {
 		}
 		return nil
 	})
+	// Report this execution's share of the (possibly shared) cache counters.
+	delta := cache.Stats().Sub(before)
 	stats := Stats{
 		Units:       len(units),
 		Executed:    int(executed.Load()),
 		Skipped:     int(skipped.Load()),
 		Records:     sink.Written(),
-		CacheHits:   cache.hits.Load(),
-		CacheMisses: cache.misses.Load(),
+		CacheHits:   delta.Hits,
+		CacheMisses: delta.Misses,
 	}
 	return stats, err
 }

@@ -5,79 +5,33 @@ import (
 	"math/rand"
 	"time"
 
-	"oraclesize/internal/broadcast"
+	"oraclesize/internal/catalog"
 	"oraclesize/internal/experiments"
 	"oraclesize/internal/graph"
 	"oraclesize/internal/graphgen"
-	"oraclesize/internal/oracle"
-	"oraclesize/internal/scheme"
 	"oraclesize/internal/sim"
-	"oraclesize/internal/wakeup"
 )
 
-// pairing couples an oracle with the scheme that consumes its advice.
-type pairing struct {
-	oracle oracle.Oracle
-	algo   scheme.Algorithm
-}
-
-// taskDef is one registered task: its legality constraint plus the valid
-// oracle/scheme pairings.
-type taskDef struct {
-	name          string
-	enforceWakeup bool
-	schemes       map[string]pairing
-	schemeOrder   []string
-}
-
-func taskDefs() []taskDef {
-	return []taskDef{
-		{
-			name:          "wakeup",
-			enforceWakeup: true,
-			schemes: map[string]pairing{
-				"tree":     {oracle: wakeup.Oracle{}, algo: wakeup.Algorithm{}},
-				"flooding": {oracle: oracle.Empty{}, algo: wakeup.Flooding{}},
-			},
-			schemeOrder: []string{"tree", "flooding"},
-		},
-		{
-			name: "broadcast",
-			schemes: map[string]pairing{
-				"light-tree": {oracle: broadcast.Oracle{}, algo: broadcast.Algorithm{}},
-				"flooding":   {oracle: oracle.Empty{}, algo: broadcast.Flooding{}},
-			},
-			schemeOrder: []string{"light-tree", "flooding"},
-		},
+// taskByName resolves a task through the shared catalog registry, the same
+// source of truth oraclesim and oracled use.
+func taskByName(name string) (catalog.Task, error) {
+	td, err := catalog.TaskByName(name)
+	if err != nil {
+		return catalog.Task{}, fmt.Errorf("campaign: %w", err)
 	}
-}
-
-func taskByName(name string) (taskDef, error) {
-	for _, td := range taskDefs() {
-		if td.name == name {
-			return td, nil
-		}
-	}
-	return taskDef{}, fmt.Errorf("campaign: unknown task %q", name)
+	return td, nil
 }
 
 // Tasks lists the registered task names.
-func Tasks() []string {
-	defs := taskDefs()
-	names := make([]string, len(defs))
-	for i, td := range defs {
-		names[i] = td.name
-	}
-	return names
-}
+func Tasks() []string { return catalog.TaskNames() }
 
-// Schemes lists the registered scheme names for a task.
+// Schemes lists the registered canonical scheme names for a task.
 func Schemes(task string) ([]string, error) {
 	td, err := taskByName(task)
 	if err != nil {
 		return nil, err
 	}
-	return td.schemeOrder, nil
+	return td.SchemeNames(), nil
 }
 
 // runUnit executes one unit and returns its records (one for task units,
@@ -102,10 +56,11 @@ func runTaskUnit(s *Spec, specHash string, u Unit, cache *instanceCache) (Record
 	if err != nil {
 		return Record{}, err
 	}
-	p, ok := td.schemes[u.Scheme]
-	if !ok {
-		return Record{}, fmt.Errorf("campaign: task %q has no scheme %q", u.Task, u.Scheme)
+	sc, err := td.SchemeByName(u.Scheme)
+	if err != nil {
+		return Record{}, fmt.Errorf("campaign: %w", err)
 	}
+	orc := sc.NewOracle(0)
 	fam, err := graphgen.FamilyByName(u.Family)
 	if err != nil {
 		return Record{}, err
@@ -118,7 +73,7 @@ func runTaskUnit(s *Spec, specHash string, u Unit, cache *instanceCache) (Record
 			return Record{}, fmt.Errorf("campaign: generating %s n=%d: %w", u.Family, u.N, err)
 		}
 		g = e.g
-		advice, err = e.advise(p.oracle, 0)
+		advice, err = e.advise(orc, 0)
 		if err != nil {
 			return Record{}, fmt.Errorf("campaign: advising %s/%s: %w", u.Task, u.Scheme, err)
 		}
@@ -128,15 +83,22 @@ func runTaskUnit(s *Spec, specHash string, u Unit, cache *instanceCache) (Record
 		if err != nil {
 			return Record{}, fmt.Errorf("campaign: generating %s n=%d: %w", u.Family, u.N, err)
 		}
-		advice, err = p.oracle.Advise(g, 0)
+		advice, err = orc.Advise(g, 0)
 		if err != nil {
 			return Record{}, fmt.Errorf("campaign: advising %s/%s: %w", u.Task, u.Scheme, err)
 		}
 	}
+	maxMessages := s.MaxMessages
+	if maxMessages == 0 {
+		// The simulator's default is linear in m+n; superlinear-but-correct
+		// schemes (election by flooding) need the catalog's generous cap.
+		maxMessages = catalog.MessageBudget(g)
+	}
 	start := time.Now()
-	res, err := sim.Run(g, 0, p.algo, advice, sim.Options{
-		EnforceWakeup: td.enforceWakeup,
-		MaxMessages:   s.MaxMessages,
+	res, err := sim.Run(g, 0, sc.Algo, advice, sim.Options{
+		EnforceWakeup: td.EnforceWakeup,
+		RetainNodes:   td.NeedsNodes,
+		MaxMessages:   maxMessages,
 	})
 	if err != nil {
 		return Record{}, fmt.Errorf("campaign: running %s: %w", u.Key(), err)
@@ -157,7 +119,7 @@ func runTaskUnit(s *Spec, specHash string, u Unit, cache *instanceCache) (Record
 		Messages:    res.Messages,
 		MessageBits: res.MessageBits,
 		Rounds:      res.Rounds,
-		Complete:    res.AllInformed,
+		Complete:    td.Check(res) == nil,
 		WallNS:      time.Since(start).Nanoseconds(),
 	}, nil
 }

@@ -80,7 +80,7 @@ func (s *Spec) Units() []Unit {
 			if err != nil {
 				continue // Validate rejects this spec; keep Units total
 			}
-			schemes = td.schemeOrder
+			schemes = td.SchemeNames()
 		}
 		for _, fname := range s.Families {
 			for _, n := range s.Sizes {

@@ -1,0 +1,118 @@
+package catalog
+
+import (
+	"math/rand"
+	"testing"
+
+	"oraclesize/internal/graphgen"
+	"oraclesize/internal/sim"
+)
+
+// TestEverySchemeCompletes runs each registered task×scheme pairing on a
+// small random graph and checks the task's own completion criterion — the
+// registry must only hand out pairings that actually work together.
+func TestEverySchemeCompletes(t *testing.T) {
+	g, err := graphgen.RandomConnected(48, 96, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, task := range Tasks() {
+		for _, sc := range task.Schemes {
+			t.Run(task.Name+"/"+sc.Name, func(t *testing.T) {
+				advice, err := sc.NewOracle(0).Advise(g, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := sim.Run(g, 0, sc.Algo, advice, sim.Options{
+					EnforceWakeup: task.EnforceWakeup,
+					RetainNodes:   task.NeedsNodes,
+					MaxMessages:   MessageBudget(g),
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := task.Check(res); err != nil {
+					t.Errorf("completion check: %v", err)
+				}
+			})
+		}
+	}
+}
+
+// TestAliasesResolve pins the historical oraclesim -oracle names onto their
+// canonical schemes.
+func TestAliasesResolve(t *testing.T) {
+	cases := []struct {
+		task, alias, canonical string
+	}{
+		{"wakeup", "paper", "tree"},
+		{"wakeup", "none", "flooding"},
+		{"broadcast", "paper", "light-tree"},
+		{"broadcast", "none", "flooding"},
+		{"gossip", "paper", "tree"},
+		{"election", "paper", "marked-tree"},
+		{"election", "none", "max-label-flood"},
+		{"election", "mark", "marked-flood"},
+	}
+	for _, tc := range cases {
+		task, err := TaskByName(tc.task)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc, err := task.SchemeByName(tc.alias)
+		if err != nil {
+			t.Errorf("%s/%s: %v", tc.task, tc.alias, err)
+			continue
+		}
+		if sc.Name != tc.canonical {
+			t.Errorf("%s/%s resolved to %q, want %q", tc.task, tc.alias, sc.Name, tc.canonical)
+		}
+		// The canonical name must resolve to itself too.
+		if direct, err := task.SchemeByName(tc.canonical); err != nil || direct.Name != tc.canonical {
+			t.Errorf("%s/%s: canonical lookup failed (%v)", tc.task, tc.canonical, err)
+		}
+	}
+}
+
+func TestUnknownNamesRejected(t *testing.T) {
+	if _, err := TaskByName("teleport"); err == nil {
+		t.Error("unknown task accepted")
+	}
+	task, err := TaskByName("wakeup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := task.SchemeByName("psychic"); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	if _, err := FamilyByName("moebius"); err == nil {
+		t.Error("unknown family accepted")
+	}
+	if _, err := SchedulerByName("chaos", 1); err == nil {
+		t.Error("unknown scheduler accepted")
+	}
+}
+
+func TestRegistriesNonEmpty(t *testing.T) {
+	if got := TaskNames(); len(got) < 4 {
+		t.Errorf("tasks = %v, want at least wakeup/broadcast/gossip/election", got)
+	}
+	if got := FamilyNames(); len(got) == 0 {
+		t.Error("no families")
+	}
+	names := SchedulerNames()
+	if len(names) < 4 {
+		t.Errorf("schedulers = %v, want fifo/lifo/random/delay", names)
+	}
+	for _, name := range names {
+		s, err := SchedulerByName(name, 3)
+		if err != nil || s == nil {
+			t.Errorf("scheduler %s: %v", name, err)
+		}
+	}
+	for _, task := range Tasks() {
+		if task.DefaultScheme().Algo == nil {
+			t.Errorf("task %s default scheme has no algorithm", task.Name)
+		}
+	}
+}

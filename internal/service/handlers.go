@@ -1,0 +1,410 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"oraclesize/internal/campaign"
+	"oraclesize/internal/catalog"
+	"oraclesize/internal/graph"
+	"oraclesize/internal/oracle"
+	"oraclesize/internal/sim"
+)
+
+func (s *Server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("POST /v1/advice", s.instrument("/v1/advice", s.handleAdvice))
+	mux.Handle("POST /v1/run", s.instrument("/v1/run", s.handleRun))
+	mux.Handle("POST /v1/campaign", s.instrument("/v1/campaign", s.handleCampaignSubmit))
+	mux.Handle("GET /v1/campaign/{id}", s.instrument("/v1/campaign/{id}", s.handleCampaignGet))
+	mux.Handle("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	mux.Handle("GET /metrics", http.HandlerFunc(s.handleMetrics))
+	return mux
+}
+
+// apiError carries an HTTP status through handler returns.
+type apiError struct {
+	status int
+	msg    string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &apiError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// instrument adapts a handler returning (body, error) to http.Handler,
+// recording per-endpoint request counts and latency and mapping errors to
+// status codes: apiError as given, errBusy to 503 + Retry-After, errDeadline
+// to 504, anything else to 500.
+func (s *Server) instrument(endpoint string, fn func(w http.ResponseWriter, r *http.Request) (any, error)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.metrics.inflight.Add(1)
+		defer s.metrics.inflight.Add(-1)
+		body, err := fn(w, r)
+		status := http.StatusOK
+		if err != nil {
+			var ae *apiError
+			switch {
+			case errors.As(err, &ae):
+				status = ae.status
+			case errors.Is(err, errBusy):
+				status = http.StatusServiceUnavailable
+				retry := int64((s.cfg.RetryAfter + time.Second - 1) / time.Second)
+				w.Header().Set("Retry-After", strconv.FormatInt(retry, 10))
+			case errors.Is(err, errDeadline):
+				status = http.StatusGatewayTimeout
+			default:
+				status = http.StatusInternalServerError
+			}
+			body = map[string]string{"error": err.Error()}
+		}
+		writeJSON(w, status, body)
+		s.metrics.observe(endpoint, status, time.Since(start))
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(body) // the status line is already out; nothing to do on error
+}
+
+// decodeBody parses a size-capped JSON request body into dst.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, dst any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return badRequest("decoding request: %v", err)
+	}
+	return nil
+}
+
+// instanceParams selects a cached graph instance; shared by advice and run
+// requests.
+type instanceParams struct {
+	Family string `json:"family"`
+	N      int    `json:"n"`
+	Seed   int64  `json:"seed"`
+	Source int    `json:"source"`
+}
+
+// instance validates the parameters against the server's size caps and
+// returns the (cached) instance and its graph.
+func (s *Server) instance(p instanceParams) (*graph.Graph, *campaign.Instance, error) {
+	if p.N < 2 || p.N > s.cfg.MaxNodes {
+		return nil, nil, badRequest("n %d out of range [2,%d]", p.N, s.cfg.MaxNodes)
+	}
+	fam, err := catalog.FamilyByName(p.Family)
+	if err != nil {
+		return nil, nil, badRequest("%v", err)
+	}
+	inst, err := s.cache.Instance(fam, p.N, p.Seed)
+	if err != nil {
+		return nil, nil, badRequest("generating %s n=%d: %v", p.Family, p.N, err)
+	}
+	g := inst.Graph()
+	if g.M() > s.cfg.MaxEdges {
+		return nil, nil, badRequest("instance has m=%d edges, cap is %d", g.M(), s.cfg.MaxEdges)
+	}
+	if p.Source < 0 || p.Source >= g.N() {
+		return nil, nil, badRequest("source %d out of range [0,%d)", p.Source, g.N())
+	}
+	return g, inst, nil
+}
+
+// requestContext applies the server's request deadline.
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+}
+
+// ---- POST /v1/advice ----
+
+type adviceRequest struct {
+	instanceParams
+	Task string `json:"task"`
+	// Scheme selects the oracle by canonical scheme name or alias;
+	// empty selects the task's default (the paper's construction).
+	Scheme string `json:"scheme,omitempty"`
+	// IncludeAdvice adds the per-node advice bit strings to the response.
+	IncludeAdvice bool `json:"include_advice,omitempty"`
+}
+
+type nodeAdvice struct {
+	Node  int    `json:"node"`
+	Label int64  `json:"label"`
+	Bits  int    `json:"bits"`
+	S     string `json:"s"`
+}
+
+type adviceResponse struct {
+	Family        string       `json:"family"`
+	Nodes         int          `json:"nodes"`
+	Edges         int          `json:"edges"`
+	MaxDegree     int          `json:"max_degree"`
+	Task          string       `json:"task"`
+	Scheme        string       `json:"scheme"`
+	Oracle        string       `json:"oracle"`
+	TotalBits     int          `json:"total_bits"`
+	MaxNodeBits   int          `json:"max_node_bits"`
+	NonEmptyNodes int          `json:"nonempty_nodes"`
+	WallNS        int64        `json:"wall_ns"`
+	Advice        []nodeAdvice `json:"advice,omitempty"`
+}
+
+func (s *Server) handleAdvice(w http.ResponseWriter, r *http.Request) (any, error) {
+	var req adviceRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		return nil, err
+	}
+	td, sc, err := resolveScheme(req.Task, req.Scheme)
+	if err != nil {
+		return nil, err
+	}
+	_ = td
+	g, h, err := s.instance(req.instanceParams)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	src := graph.NodeID(req.Source)
+	body, err := s.execute(ctx, func() (any, error) {
+		start := time.Now()
+		orc := sc.NewOracle(src)
+		advice, err := h.Advice(orc, src)
+		if err != nil {
+			return nil, badRequest("advising: %v", err)
+		}
+		stats := oracle.Stats(advice)
+		resp := &adviceResponse{
+			Family:        req.Family,
+			Nodes:         g.N(),
+			Edges:         g.M(),
+			MaxDegree:     g.MaxDegree(),
+			Task:          req.Task,
+			Scheme:        sc.Name,
+			Oracle:        orc.Name(),
+			TotalBits:     stats.TotalBits,
+			MaxNodeBits:   stats.MaxNodeBits,
+			NonEmptyNodes: stats.NonEmptyNodes,
+			WallNS:        time.Since(start).Nanoseconds(),
+		}
+		if req.IncludeAdvice {
+			resp.Advice = make([]nodeAdvice, g.N())
+			for v := 0; v < g.N(); v++ {
+				a := advice[graph.NodeID(v)]
+				resp.Advice[v] = nodeAdvice{
+					Node:  v,
+					Label: g.Label(graph.NodeID(v)),
+					Bits:  a.Len(),
+					S:     a.String(),
+				}
+			}
+		}
+		return resp, nil
+	})
+	return body, err
+}
+
+// ---- POST /v1/run ----
+
+type runRequest struct {
+	instanceParams
+	Task string `json:"task"`
+	// Scheme selects the oracle/algorithm pairing (canonical name or
+	// alias); empty selects the task's default.
+	Scheme string `json:"scheme,omitempty"`
+	// Scheduler orders deliveries for the queue engine (default fifo).
+	Scheduler string `json:"scheduler,omitempty"`
+	// Engine is "queue" (deterministic, default) or "goroutines".
+	Engine string `json:"engine,omitempty"`
+	// MaxMessages caps sends; 0 selects the catalog budget, and requests
+	// are clamped to the server's configured ceiling either way.
+	MaxMessages int `json:"max_messages,omitempty"`
+}
+
+type runResponse struct {
+	Family       string         `json:"family"`
+	Nodes        int            `json:"nodes"`
+	Edges        int            `json:"edges"`
+	Task         string         `json:"task"`
+	Scheme       string         `json:"scheme"`
+	Oracle       string         `json:"oracle"`
+	Algorithm    string         `json:"algorithm"`
+	Engine       string         `json:"engine"`
+	Scheduler    string         `json:"scheduler,omitempty"`
+	AdviceBits   int            `json:"advice_bits"`
+	Messages     int            `json:"messages"`
+	MessageBits  int            `json:"message_bits"`
+	ByKind       map[string]int `json:"by_kind,omitempty"`
+	MaxNodeSends int            `json:"max_node_sends"`
+	Rounds       int            `json:"rounds"`
+	Informed     int            `json:"informed"`
+	Complete     bool           `json:"complete"`
+	CheckError   string         `json:"check_error,omitempty"`
+	WallNS       int64          `json:"wall_ns"`
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) (any, error) {
+	var req runRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		return nil, err
+	}
+	td, sc, err := resolveScheme(req.Task, req.Scheme)
+	if err != nil {
+		return nil, err
+	}
+	engine := req.Engine
+	if engine == "" {
+		engine = "queue"
+	}
+	if engine != "queue" && engine != "goroutines" {
+		return nil, badRequest("unknown engine %q (queue | goroutines)", req.Engine)
+	}
+	if engine == "goroutines" && td.NeedsNodes {
+		return nil, badRequest("%s verification needs the queue engine", td.Name)
+	}
+	schedName := req.Scheduler
+	if schedName == "" {
+		schedName = "fifo"
+	}
+	if engine == "queue" {
+		if _, err := catalog.SchedulerByName(schedName, req.Seed); err != nil {
+			return nil, badRequest("%v", err)
+		}
+	}
+	g, h, err := s.instance(req.instanceParams)
+	if err != nil {
+		return nil, err
+	}
+	budget := req.MaxMessages
+	if budget <= 0 || budget > catalog.MessageBudget(g) {
+		budget = catalog.MessageBudget(g)
+	}
+	if budget > s.cfg.maxMessageCeiling() {
+		budget = s.cfg.maxMessageCeiling()
+	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	src := graph.NodeID(req.Source)
+	return s.execute(ctx, func() (any, error) {
+		start := time.Now()
+		advice, err := h.Advice(sc.NewOracle(src), src)
+		if err != nil {
+			return nil, badRequest("advising: %v", err)
+		}
+		var res *sim.Result
+		if engine == "queue" {
+			sched, err := catalog.SchedulerByName(schedName, req.Seed)
+			if err != nil {
+				return nil, badRequest("%v", err)
+			}
+			// The default FIFO scheduler is allocation-free inside the
+			// pooled engine; passing it explicitly would cost a fresh
+			// queue per request.
+			if schedName == "fifo" {
+				sched = nil
+			}
+			res, err = sim.Run(g, src, sc.Algo, advice, sim.Options{
+				Scheduler:     sched,
+				EnforceWakeup: td.EnforceWakeup,
+				RetainNodes:   td.NeedsNodes,
+				MaxMessages:   budget,
+			})
+			if err != nil {
+				return nil, badRequest("run: %v", err)
+			}
+		} else {
+			res, err = sim.RunConcurrent(g, src, sc.Algo, advice, budget)
+			if err != nil {
+				return nil, badRequest("run: %v", err)
+			}
+		}
+		informed := 0
+		for _, inf := range res.Informed {
+			if inf {
+				informed++
+			}
+		}
+		resp := &runResponse{
+			Family:       req.Family,
+			Nodes:        g.N(),
+			Edges:        g.M(),
+			Task:         req.Task,
+			Scheme:       sc.Name,
+			Oracle:       sc.NewOracle(src).Name(),
+			Algorithm:    sc.Algo.Name(),
+			Engine:       engine,
+			AdviceBits:   advice.SizeBits(),
+			Messages:     res.Messages,
+			MessageBits:  res.MessageBits,
+			MaxNodeSends: res.MaxNodeSends,
+			Rounds:       res.Rounds,
+			Informed:     informed,
+			WallNS:       time.Since(start).Nanoseconds(),
+		}
+		if engine == "queue" {
+			resp.Scheduler = schedName
+		}
+		if err := td.Check(res); err != nil {
+			resp.CheckError = err.Error()
+		} else {
+			resp.Complete = true
+		}
+		if len(res.ByKind) > 0 {
+			resp.ByKind = make(map[string]int, len(res.ByKind))
+			for k, c := range res.ByKind {
+				resp.ByKind[k.String()] = c
+			}
+		}
+		return resp, nil
+	})
+}
+
+// resolveScheme resolves task and scheme names through the catalog.
+func resolveScheme(task, schemeName string) (catalog.Task, catalog.Scheme, error) {
+	td, err := catalog.TaskByName(task)
+	if err != nil {
+		return catalog.Task{}, catalog.Scheme{}, badRequest("%v", err)
+	}
+	if schemeName == "" {
+		return td, td.DefaultScheme(), nil
+	}
+	sc, err := td.SchemeByName(schemeName)
+	if err != nil {
+		return catalog.Task{}, catalog.Scheme{}, badRequest("%v", err)
+	}
+	return td, sc, nil
+}
+
+// ---- GET /healthz ----
+
+type healthResponse struct {
+	Status           string `json:"status"`
+	QueueDepth       int64  `json:"queue_depth"`
+	QueueCapacity    int    `json:"queue_capacity"`
+	Executing        int64  `json:"executing"`
+	Inflight         int64  `json:"inflight"`
+	CampaignsRunning int64  `json:"campaigns_running"`
+}
+
+func (s *Server) handleHealthz(http.ResponseWriter, *http.Request) (any, error) {
+	return &healthResponse{
+		Status:           "ok",
+		QueueDepth:       s.metrics.queued.Load(),
+		QueueCapacity:    s.cfg.QueueDepth,
+		Executing:        s.metrics.executing.Load(),
+		Inflight:         s.metrics.inflight.Load(),
+		CampaignsRunning: s.campaigns.running(),
+	}, nil
+}

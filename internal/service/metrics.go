@@ -1,0 +1,170 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"oraclesize/internal/sim"
+)
+
+// latencyBuckets are the fixed histogram bucket upper bounds, in seconds.
+// They span sub-millisecond cache hits through multi-second campaigns.
+var latencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// endpointMetrics accumulates one endpoint's request counts (by status
+// code) and a latency histogram. Guarded by metrics.mu.
+type endpointMetrics struct {
+	byCode  map[int]int64
+	buckets []int64 // cumulative-at-render; stored per-bucket here
+	sum     float64
+	count   int64
+}
+
+// metrics is the server's metric registry: lock-free gauges updated on the
+// hot path plus a mutex-guarded per-endpoint request table read only by
+// the /metrics renderer.
+type metrics struct {
+	queued    atomic.Int64 // jobs admitted and not yet picked up
+	dropped   atomic.Int64 // jobs discarded because their deadline lapsed in queue
+	executing atomic.Int64 // jobs currently running on a worker
+	inflight  atomic.Int64 // HTTP requests currently being served
+	shed      atomic.Int64 // requests answered 503 for backpressure
+
+	mu        sync.Mutex
+	endpoints map[string]*endpointMetrics
+}
+
+func newMetrics() *metrics {
+	return &metrics{endpoints: make(map[string]*endpointMetrics)}
+}
+
+// observe records one finished request.
+func (m *metrics) observe(endpoint string, code int, d time.Duration) {
+	if code == http.StatusServiceUnavailable {
+		m.shed.Add(1)
+	}
+	secs := d.Seconds()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	em := m.endpoints[endpoint]
+	if em == nil {
+		em = &endpointMetrics{
+			byCode:  make(map[int]int64),
+			buckets: make([]int64, len(latencyBuckets)),
+		}
+		m.endpoints[endpoint] = em
+	}
+	em.byCode[code]++
+	em.sum += secs
+	em.count++
+	for i, ub := range latencyBuckets {
+		if secs <= ub {
+			em.buckets[i]++
+			break
+		}
+	}
+}
+
+// handleMetrics renders the Prometheus text exposition format by hand —
+// the repo is stdlib-only, and the subset we need (counters, gauges,
+// histograms) is a few fmt.Fprintf calls.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	m := s.metrics
+
+	fmt.Fprintf(w, "# HELP oracled_queue_depth Jobs admitted to the work queue and not yet executing.\n")
+	fmt.Fprintf(w, "# TYPE oracled_queue_depth gauge\n")
+	fmt.Fprintf(w, "oracled_queue_depth %d\n", m.queued.Load())
+	fmt.Fprintf(w, "# HELP oracled_queue_capacity Configured work queue capacity.\n")
+	fmt.Fprintf(w, "# TYPE oracled_queue_capacity gauge\n")
+	fmt.Fprintf(w, "oracled_queue_capacity %d\n", s.cfg.QueueDepth)
+	fmt.Fprintf(w, "# HELP oracled_executing Jobs currently running on workers.\n")
+	fmt.Fprintf(w, "# TYPE oracled_executing gauge\n")
+	fmt.Fprintf(w, "oracled_executing %d\n", m.executing.Load())
+	fmt.Fprintf(w, "# HELP oracled_inflight_requests HTTP requests currently being served.\n")
+	fmt.Fprintf(w, "# TYPE oracled_inflight_requests gauge\n")
+	fmt.Fprintf(w, "oracled_inflight_requests %d\n", m.inflight.Load())
+	fmt.Fprintf(w, "# HELP oracled_shed_total Requests answered 503 under backpressure.\n")
+	fmt.Fprintf(w, "# TYPE oracled_shed_total counter\n")
+	fmt.Fprintf(w, "oracled_shed_total %d\n", m.shed.Load())
+	fmt.Fprintf(w, "# HELP oracled_dropped_jobs_total Queued jobs discarded because their deadline lapsed before execution.\n")
+	fmt.Fprintf(w, "# TYPE oracled_dropped_jobs_total counter\n")
+	fmt.Fprintf(w, "oracled_dropped_jobs_total %d\n", m.dropped.Load())
+
+	ps := sim.ReadPoolStats()
+	fmt.Fprintf(w, "# HELP oracled_engine_pool_runs_total Simulations served through the pooled engine (process-wide).\n")
+	fmt.Fprintf(w, "# TYPE oracled_engine_pool_runs_total counter\n")
+	fmt.Fprintf(w, "oracled_engine_pool_runs_total %d\n", ps.Runs)
+	fmt.Fprintf(w, "# HELP oracled_engine_pool_created_total Engines constructed because the pool was empty (process-wide).\n")
+	fmt.Fprintf(w, "# TYPE oracled_engine_pool_created_total counter\n")
+	fmt.Fprintf(w, "oracled_engine_pool_created_total %d\n", ps.Created)
+	fmt.Fprintf(w, "# HELP oracled_engine_pool_hit_ratio Fraction of pooled runs that reused an engine.\n")
+	fmt.Fprintf(w, "# TYPE oracled_engine_pool_hit_ratio gauge\n")
+	fmt.Fprintf(w, "oracled_engine_pool_hit_ratio %s\n", formatFloat(ps.HitRatio()))
+
+	cs := s.cache.Stats()
+	fmt.Fprintf(w, "# HELP oracled_instance_cache_hits_total Instance cache hits.\n")
+	fmt.Fprintf(w, "# TYPE oracled_instance_cache_hits_total counter\n")
+	fmt.Fprintf(w, "oracled_instance_cache_hits_total %d\n", cs.Hits)
+	fmt.Fprintf(w, "# HELP oracled_instance_cache_misses_total Instance cache misses.\n")
+	fmt.Fprintf(w, "# TYPE oracled_instance_cache_misses_total counter\n")
+	fmt.Fprintf(w, "oracled_instance_cache_misses_total %d\n", cs.Misses)
+	fmt.Fprintf(w, "# HELP oracled_instance_cache_hit_ratio Fraction of instance lookups served from cache.\n")
+	fmt.Fprintf(w, "# TYPE oracled_instance_cache_hit_ratio gauge\n")
+	fmt.Fprintf(w, "oracled_instance_cache_hit_ratio %s\n", formatFloat(cs.HitRatio()))
+
+	fmt.Fprintf(w, "# HELP oracled_campaigns_running Campaigns currently executing.\n")
+	fmt.Fprintf(w, "# TYPE oracled_campaigns_running gauge\n")
+	fmt.Fprintf(w, "oracled_campaigns_running %d\n", s.campaigns.running())
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.endpoints))
+	for name := range m.endpoints {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	fmt.Fprintf(w, "# HELP oracled_requests_total Finished HTTP requests by endpoint and status code.\n")
+	fmt.Fprintf(w, "# TYPE oracled_requests_total counter\n")
+	for _, name := range names {
+		em := m.endpoints[name]
+		codes := make([]int, 0, len(em.byCode))
+		for c := range em.byCode {
+			codes = append(codes, c)
+		}
+		sort.Ints(codes)
+		for _, c := range codes {
+			fmt.Fprintf(w, "oracled_requests_total{endpoint=%q,code=\"%d\"} %d\n", name, c, em.byCode[c])
+		}
+	}
+
+	fmt.Fprintf(w, "# HELP oracled_request_duration_seconds Request latency by endpoint.\n")
+	fmt.Fprintf(w, "# TYPE oracled_request_duration_seconds histogram\n")
+	for _, name := range names {
+		em := m.endpoints[name]
+		var cum int64
+		for i, ub := range latencyBuckets {
+			cum += em.buckets[i]
+			fmt.Fprintf(w, "oracled_request_duration_seconds_bucket{endpoint=%q,le=%q} %d\n",
+				name, formatFloat(ub), cum)
+		}
+		fmt.Fprintf(w, "oracled_request_duration_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", name, em.count)
+		fmt.Fprintf(w, "oracled_request_duration_seconds_sum{endpoint=%q} %s\n", name, formatFloat(em.sum))
+		fmt.Fprintf(w, "oracled_request_duration_seconds_count{endpoint=%q} %d\n", name, em.count)
+	}
+}
+
+// formatFloat renders a float the Prometheus way: shortest representation,
+// no exponent for the magnitudes we emit.
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}

@@ -1,0 +1,251 @@
+// Package service implements oracled, the advice-and-simulation daemon: an
+// HTTP/JSON front end over this repository's oracle constructions and
+// simulation engines. It serves
+//
+//	POST /v1/advice        generate an instance, run an oracle, report advice
+//	POST /v1/run           one task/oracle/scheduler simulation (oraclesim as an API)
+//	POST /v1/campaign      submit an async campaign over internal/campaign
+//	GET  /v1/campaign/{id} poll a submitted campaign
+//	GET  /healthz          liveness and load snapshot
+//	GET  /metrics          Prometheus text-format metrics
+//
+// The serving path reuses the batch machinery end to end: package sim's
+// pooled engines execute runs, a shared campaign.Cache memoizes graph
+// instances and per-oracle advice across requests, and campaigns run on the
+// campaign worker pool.
+//
+// Load is explicitly bounded. Simulation requests pass through a bounded
+// work queue executed by a fixed worker set; when the queue is full the
+// server sheds load with 503 and a Retry-After hint instead of queueing
+// without bound. Every queued request carries a deadline — expiry returns
+// 504 whether the request is still queued or already executing (an
+// executing run's result is then discarded). Request sizes are capped
+// (body bytes, n, m, message budget) so a single request cannot occupy a
+// worker indefinitely.
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"oraclesize/internal/campaign"
+)
+
+// Config bounds the server. The zero value selects sensible defaults.
+type Config struct {
+	// Workers is the number of simulation executors (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the backlog of admitted-but-not-executing
+	// simulation requests (default 64). A full queue sheds load with 503.
+	QueueDepth int
+	// RequestTimeout is the per-request deadline covering queue wait plus
+	// execution (default 30s). Expiry returns 504.
+	RequestTimeout time.Duration
+	// RetryAfter is the client backoff hint attached to 503 responses
+	// (default 1s, rounded up to whole seconds).
+	RetryAfter time.Duration
+	// MaxNodes caps the requested network size n (default 4096).
+	MaxNodes int
+	// MaxEdges caps the generated network's edge count m (default 1<<20).
+	// Families derive m from n, so the cap is checked after generation.
+	MaxEdges int
+	// MaxBodyBytes caps request bodies (default 1 MiB).
+	MaxBodyBytes int64
+	// MaxMessageBudget caps the per-run message budget regardless of what
+	// the request asks for (default 1<<24), so one run cannot hold a
+	// worker for an unbounded message count.
+	MaxMessageBudget int
+	// CacheCapacity bounds the shared instance cache (default 128 entries).
+	CacheCapacity int
+	// MaxCampaigns bounds concurrently running campaigns (default 1);
+	// submissions beyond it are shed with 503.
+	MaxCampaigns int
+	// MaxCampaignUnits caps a submitted campaign's compiled unit count
+	// (default 65536).
+	MaxCampaignUnits int
+	// ArtifactDir is where campaign JSONL artifacts are written (default
+	// the OS temp dir).
+	ArtifactDir string
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.MaxNodes <= 0 {
+		c.MaxNodes = 4096
+	}
+	if c.MaxEdges <= 0 {
+		c.MaxEdges = 1 << 20
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.MaxMessageBudget <= 0 {
+		c.MaxMessageBudget = 1 << 24
+	}
+	if c.CacheCapacity <= 0 {
+		c.CacheCapacity = 128
+	}
+	if c.MaxCampaigns <= 0 {
+		c.MaxCampaigns = 1
+	}
+	if c.MaxCampaignUnits <= 0 {
+		c.MaxCampaignUnits = 1 << 16
+	}
+	return c
+}
+
+func (c Config) maxMessageCeiling() int { return c.MaxMessageBudget }
+
+// Server is one oracled instance: a handler tree plus the worker set behind
+// the bounded queue. Construct with New, serve s.Handler(), and Stop when
+// the HTTP listener has drained.
+type Server struct {
+	cfg       Config
+	mux       *http.ServeMux
+	metrics   *metrics
+	cache     *campaign.Cache
+	campaigns *campaignManager
+
+	queueMu sync.RWMutex
+	queue   chan *job
+	stopped bool
+	workers sync.WaitGroup
+
+	// testHook, when set (by tests in this package), runs in a worker
+	// goroutine right before a job executes — the lever overload tests use
+	// to hold workers busy deterministically.
+	testHook func()
+}
+
+// New builds a server and starts its workers.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		metrics: newMetrics(),
+		cache:   campaign.NewCache(cfg.CacheCapacity),
+		queue:   make(chan *job, cfg.QueueDepth),
+	}
+	s.campaigns = newCampaignManager(s)
+	s.mux = s.routes()
+	s.workers.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the HTTP handler tree. All endpoints are instrumented.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Stop closes the work queue and joins the workers. Call it only after the
+// HTTP listener has stopped delivering requests (http.Server.Shutdown);
+// later submissions are shed with 503. Stop does not cancel running
+// campaigns — use CampaignWait for those.
+func (s *Server) Stop() {
+	s.queueMu.Lock()
+	if !s.stopped {
+		s.stopped = true
+		close(s.queue)
+	}
+	s.queueMu.Unlock()
+	s.workers.Wait()
+}
+
+// CampaignWait blocks until every submitted campaign has finished, up to
+// the given timeout. It reports whether all campaigns completed.
+func (s *Server) CampaignWait(timeout time.Duration) bool {
+	return s.campaigns.wait(timeout)
+}
+
+// job is one queued simulation request. The worker publishes exactly one
+// result on done (buffered), unless the job's deadline lapsed first — then
+// the job is dropped and nobody listens.
+type job struct {
+	ctx  ctxDone
+	work func() (any, error)
+	done chan jobResult
+}
+
+type jobResult struct {
+	value any
+	err   error
+}
+
+// ctxDone is the slice of context.Context the queue needs; keeping it
+// narrow makes the worker's drop-on-expiry check explicit.
+type ctxDone interface {
+	Done() <-chan struct{}
+	Err() error
+}
+
+// enqueue admits work into the bounded queue. It returns errBusy when the
+// queue is full or the server is stopped — the caller sheds load with 503.
+func (s *Server) enqueue(j *job) error {
+	s.queueMu.RLock()
+	defer s.queueMu.RUnlock()
+	if s.stopped {
+		return errBusy
+	}
+	select {
+	case s.queue <- j:
+		s.metrics.queued.Add(1)
+		return nil
+	default:
+		return errBusy
+	}
+}
+
+var errBusy = fmt.Errorf("service: work queue full")
+
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for j := range s.queue {
+		s.metrics.queued.Add(-1)
+		if j.ctx.Err() != nil {
+			// The handler gave up while the job sat in the queue; executing
+			// it would burn a worker on a response nobody reads.
+			s.metrics.dropped.Add(1)
+			continue
+		}
+		if s.testHook != nil {
+			s.testHook()
+		}
+		s.metrics.executing.Add(1)
+		value, err := j.work()
+		s.metrics.executing.Add(-1)
+		j.done <- jobResult{value: value, err: err}
+	}
+}
+
+// execute queues work and waits for its result or the request deadline.
+// The done channel is buffered so a worker finishing after deadline expiry
+// never blocks.
+func (s *Server) execute(ctx ctxDone, work func() (any, error)) (any, error) {
+	j := &job{ctx: ctx, work: work, done: make(chan jobResult, 1)}
+	if err := s.enqueue(j); err != nil {
+		return nil, err
+	}
+	select {
+	case r := <-j.done:
+		return r.value, r.err
+	case <-ctx.Done():
+		return nil, errDeadline
+	}
+}
+
+var errDeadline = fmt.Errorf("service: request deadline exceeded")

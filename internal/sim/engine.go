@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"oraclesize/internal/bitstring"
 	"oraclesize/internal/graph"
@@ -133,8 +134,39 @@ func resetSlice[T bool | int](s []T, n int) []T {
 }
 
 // enginePool backs the package-level Run so concurrent callers (campaign
-// workers, parallel benchmarks) each reuse a warm engine.
-var enginePool = sync.Pool{New: func() any { return NewEngine() }}
+// workers, parallel benchmarks, service handlers) each reuse a warm engine.
+var enginePool = sync.Pool{New: func() any {
+	poolCreated.Add(1)
+	return NewEngine()
+}}
+
+var (
+	poolRuns    atomic.Int64
+	poolCreated atomic.Int64
+)
+
+// PoolStats counts the package-level Run's engine reuse. Runs is the total
+// number of pooled runs served; Created is how many fresh engines the pool
+// had to allocate (a run that does not bump Created reused a warm engine,
+// so Created/Runs is the pool miss ratio, subject to GC clearing the pool).
+type PoolStats struct {
+	Runs    int64
+	Created int64
+}
+
+// HitRatio is the fraction of runs served by a warm engine.
+func (s PoolStats) HitRatio() float64 {
+	if s.Runs > 0 {
+		return float64(s.Runs-s.Created) / float64(s.Runs)
+	}
+	return 0
+}
+
+// ReadPoolStats snapshots the cumulative pool counters, for /metrics-style
+// reporting. Engines used directly (NewEngine + Engine.Run) do not count.
+func ReadPoolStats() PoolStats {
+	return PoolStats{Runs: poolRuns.Load(), Created: poolCreated.Load()}
+}
 
 // Run executes algo on g from the given source under the advice assignment,
 // delivering messages in the order chosen by the scheduler, until no message
@@ -144,6 +176,7 @@ var enginePool = sync.Pool{New: func() any { return NewEngine() }}
 // Run draws a reusable Engine from an internal pool; it is safe for
 // concurrent use and allocation-light in steady state.
 func Run(g *graph.Graph, source graph.NodeID, algo scheme.Algorithm, advice Advice, opts Options) (*Result, error) {
+	poolRuns.Add(1)
 	e := enginePool.Get().(*Engine)
 	res, err := e.Run(g, source, algo, advice, opts)
 	enginePool.Put(e)

@@ -363,3 +363,29 @@ func TestSingleNodeRun(t *testing.T) {
 		t.Error("concurrent single node incomplete")
 	}
 }
+
+// TestReadPoolStats pins the pool-stats accessor: pooled runs bump Runs,
+// reuse keeps Created at or below it, and the counters are monotone.
+func TestReadPoolStats(t *testing.T) {
+	g := mustGraph(t)(graphgen.RandomConnected(32, 64, rand.New(rand.NewSource(5))))
+	before := ReadPoolStats()
+	const runs = 10
+	for i := 0; i < runs; i++ {
+		if _, err := Run(g, 0, flooding(), Advice{}, Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := ReadPoolStats()
+	if got := after.Runs - before.Runs; got != runs {
+		t.Errorf("Runs grew by %d, want %d", got, runs)
+	}
+	if after.Created < before.Created {
+		t.Error("Created decreased")
+	}
+	if after.Created > after.Runs {
+		t.Errorf("Created %d exceeds Runs %d", after.Created, after.Runs)
+	}
+	if r := after.HitRatio(); r < 0 || r > 1 {
+		t.Errorf("HitRatio = %v out of [0,1]", r)
+	}
+}

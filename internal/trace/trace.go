@@ -8,6 +8,7 @@ package trace
 
 import (
 	"fmt"
+	"sync"
 
 	"oraclesize/internal/graph"
 	"oraclesize/internal/scheme"
@@ -44,7 +45,17 @@ type Event struct {
 
 // Recorder accumulates events. A nil *Recorder is valid and records nothing,
 // so call sites need no guards.
+//
+// Concurrency contract: Append, Events and Len are safe for concurrent use
+// — appends from multiple goroutines (the goroutine engine, a serving
+// context running traced simulations in parallel) serialize on an internal
+// mutex, and sequence numbers reflect that serialization order, which for
+// concurrent appenders is one valid interleaving rather than a canonical
+// one. Events returns the live slice, not a copy: read it only after every
+// appender has stopped (checkers run post-run, so this is the natural call
+// pattern).
 type Recorder struct {
+	mu     sync.Mutex
 	events []Event
 	seq    int
 }
@@ -54,16 +65,22 @@ func (r *Recorder) Append(e Event) {
 	if r == nil {
 		return
 	}
+	r.mu.Lock()
 	e.Seq = r.seq
 	r.seq++
 	r.events = append(r.events, e)
+	r.mu.Unlock()
 }
 
-// Events returns the recorded events in order.
+// Events returns the recorded events in order. See the Recorder contract:
+// the returned slice aliases internal state, so call this only after all
+// concurrent appenders have finished.
 func (r *Recorder) Events() []Event {
 	if r == nil {
 		return nil
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	return r.events
 }
 
@@ -72,6 +89,8 @@ func (r *Recorder) Len() int {
 	if r == nil {
 		return 0
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	return len(r.events)
 }
 

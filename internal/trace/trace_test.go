@@ -2,6 +2,7 @@ package trace
 
 import (
 	"strings"
+	"sync"
 	"testing"
 
 	"oraclesize/internal/graph"
@@ -126,5 +127,40 @@ func TestFormatAndSummary(t *testing.T) {
 	sum := Summary(events)
 	if sum != "1 sends, 1 deliveries, 1 nodes informed" {
 		t.Errorf("Summary = %q", sum)
+	}
+}
+
+// TestRecorderConcurrentAppend exercises the Recorder's concurrency
+// contract: parallel appenders must neither race (the -race job watches
+// this test) nor lose or duplicate sequence numbers.
+func TestRecorderConcurrentAppend(t *testing.T) {
+	const (
+		writers   = 8
+		perWriter = 500
+	)
+	r := &Recorder{}
+	var wg sync.WaitGroup
+	wg.Add(writers)
+	for w := 0; w < writers; w++ {
+		w := w
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				r.Append(send(graph.NodeID(w), graph.NodeID(w+1), scheme.KindM))
+			}
+		}()
+	}
+	wg.Wait()
+	events := r.Events()
+	if len(events) != writers*perWriter {
+		t.Fatalf("recorded %d events, want %d", len(events), writers*perWriter)
+	}
+	if r.Len() != len(events) {
+		t.Fatalf("Len = %d, want %d", r.Len(), len(events))
+	}
+	for i, e := range events {
+		if e.Seq != i {
+			t.Fatalf("event %d has seq %d; sequence numbers must be dense", i, e.Seq)
+		}
 	}
 }
