@@ -86,10 +86,18 @@ func (c *instanceCache) lookup(key string, n int, seed int64, fam graphgen.Famil
 	return e, e.genErr
 }
 
-// instance returns the entry for u's (family, n, trial) instance,
-// generating the graph on first use from the unit's instance seed.
+// instance returns the entry for u's graph instance, generating the graph
+// on first use from the unit's instance seed. The cache key carries the
+// seed rather than the trial index: within one spec the two are equivalent
+// (InstanceSeed is a function of the spec seed and InstanceKey), but a
+// cache shared across specs — the oracled service keeps one alive across
+// campaign submissions — must not hand a unit from one spec a graph
+// generated under another spec's seed, or cached runs would silently stop
+// reproducing. The key format matches Cache.Instance, so campaign units
+// and direct service requests that agree on (family, n, seed) share too.
 func (c *instanceCache) instance(u Unit, fam graphgen.Family) (*instanceEntry, error) {
-	return c.lookup(u.InstanceKey(), u.N, u.InstanceSeed, fam)
+	key := fmt.Sprintf("instance/%s/n%d/s%d", u.Family, u.N, u.InstanceSeed)
+	return c.lookup(key, u.N, u.InstanceSeed, fam)
 }
 
 // advise returns o's advice for the entry's graph, computed once per

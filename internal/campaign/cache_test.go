@@ -60,6 +60,45 @@ func TestCacheDoesNotChangeRecords(t *testing.T) {
 	}
 }
 
+// TestSharedCacheAcrossSpecSeeds is the shared-cache reproducibility
+// contract the oracled service relies on: one cache kept alive across
+// campaigns with different spec seeds must produce exactly the records a
+// private cache would. Units of the two specs agree on (family, n, trial)
+// but not on InstanceSeed, so a cache keyed without the seed would serve
+// the second spec the first spec's graphs.
+func TestSharedCacheAcrossSpecSeeds(t *testing.T) {
+	specA := QuickSpec()
+	specB := QuickSpec()
+	specB.Seed = specA.Seed + 1
+	shared := newInstanceCache(256)
+	for _, spec := range []*Spec{specA, specB} {
+		hash := spec.Hash()
+		for _, u := range spec.Units() {
+			if u.Kind != KindTask {
+				continue
+			}
+			got, err := runUnit(spec, hash, u, shared)
+			if err != nil {
+				t.Fatalf("seed %d %s shared: %v", spec.Seed, u.Key(), err)
+			}
+			want, err := runUnit(spec, hash, u, nil)
+			if err != nil {
+				t.Fatalf("seed %d %s uncached: %v", spec.Seed, u.Key(), err)
+			}
+			for i := range got {
+				got[i].WallNS = 0
+			}
+			for i := range want {
+				want[i].WallNS = 0
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("seed %d %s: shared-cache records differ from uncached:\nshared:   %+v\nuncached: %+v",
+					spec.Seed, u.Key(), got, want)
+			}
+		}
+	}
+}
+
 // TestCacheHitMissAccounting checks that trials of the same instance hit
 // the cache after the first miss, and that eviction only regenerates —
 // never corrupts — an instance.

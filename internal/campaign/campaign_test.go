@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
@@ -98,6 +99,32 @@ func TestUnitsDeterministicAndUnique(t *testing.T) {
 			t.Errorf("duplicate unit key %s", a[i].Key())
 		}
 		seen[a[i].Key()] = true
+	}
+}
+
+// TestUnitCountMatchesUnits pins UnitCount to len(Units()) across the spec
+// shapes Units handles specially (explicit schemes, default schemes,
+// experiment replays), and checks that absurd trial counts saturate
+// instead of overflowing — callers use UnitCount to reject such specs
+// before compiling them.
+func TestUnitCountMatchesUnits(t *testing.T) {
+	withExperiments := QuickSpec()
+	withExperiments.Experiments = []string{"E5"}
+	defaultSchemes := QuickSpec()
+	defaultSchemes.Tasks = []TaskSpec{{Task: "wakeup"}}
+	for name, spec := range map[string]*Spec{
+		"quick":           QuickSpec(),
+		"experiments":     withExperiments,
+		"default schemes": defaultSchemes,
+	} {
+		if got, want := spec.UnitCount(), int64(len(spec.Units())); got != want {
+			t.Errorf("%s: UnitCount() = %d, len(Units()) = %d", name, got, want)
+		}
+	}
+	huge := QuickSpec()
+	huge.Trials = math.MaxInt64 / 2
+	if got := huge.UnitCount(); got != math.MaxInt64 {
+		t.Errorf("huge spec: UnitCount() = %d, want saturation at MaxInt64", got)
 	}
 }
 

@@ -3,6 +3,7 @@ package campaign
 import (
 	"fmt"
 	"hash/fnv"
+	"math"
 )
 
 // Unit kinds.
@@ -45,8 +46,10 @@ func (u Unit) Key() string {
 	return fmt.Sprintf("task/%s/%s/%s/n%d/t%d", u.Task, u.Scheme, u.Family, u.N, u.Trial)
 }
 
-// InstanceKey identifies the graph instance a task unit runs on. Units of
-// different tasks and schemes share instances; trials differ.
+// InstanceKey identifies the graph instance a task unit runs on within its
+// spec. Units of different tasks and schemes share instances; trials
+// differ. It seeds InstanceSeed; the instance cache keys by that seed, so
+// equal keys from different specs never alias a cached graph.
 func (u Unit) InstanceKey() string {
 	return fmt.Sprintf("instance/%s/n%d/t%d", u.Family, u.N, u.Trial)
 }
@@ -58,6 +61,48 @@ func unitSeed(specSeed int64, key string) int64 {
 	h.Write([]byte(key))
 	const golden = uint64(0x9E3779B97F4A7C15)
 	return int64(h.Sum64() ^ uint64(specSeed)*golden)
+}
+
+// satMul and satAdd saturate at math.MaxInt64 so UnitCount cannot overflow
+// on adversarial specs (e.g. trials near 2^53 from a JSON body).
+func satMul(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a > math.MaxInt64/b {
+		return math.MaxInt64
+	}
+	return a * b
+}
+
+func satAdd(a, b int64) int64 {
+	if a > math.MaxInt64-b {
+		return math.MaxInt64
+	}
+	return a + b
+}
+
+// UnitCount returns len(s.Units()) without materializing the list, so
+// callers can enforce a unit cap before compiling a spec whose cross
+// product is enormous — a tiny JSON body can request billions of units.
+// The count saturates at math.MaxInt64. Callers must Validate the spec
+// first (negative trials would make the count meaningless).
+func (s *Spec) UnitCount() int64 {
+	var total int64
+	for _, ts := range s.Tasks {
+		schemes := int64(len(ts.Schemes))
+		if schemes == 0 {
+			td, err := taskByName(ts.Task)
+			if err != nil {
+				continue // Validate rejects this spec; keep the count consistent with Units
+			}
+			schemes = int64(len(td.SchemeNames()))
+		}
+		grid := satMul(satMul(int64(len(s.Families)), int64(len(s.Sizes))),
+			satMul(schemes, int64(s.Trials)))
+		total = satAdd(total, grid)
+	}
+	return satAdd(total, int64(len(s.Experiments)))
 }
 
 // Units compiles the spec into its deterministic unit list: tasks in spec

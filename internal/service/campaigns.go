@@ -19,9 +19,10 @@ import (
 type campaignManager struct {
 	s *Server
 
-	mu   sync.Mutex
-	runs map[string]*campaignRun
-	seq  int
+	mu       sync.Mutex
+	runs     map[string]*campaignRun
+	finished []string // finished run IDs in completion order, for eviction
+	seq      int
 
 	active atomic.Int64
 	wg     sync.WaitGroup
@@ -93,11 +94,15 @@ func (s *Server) handleCampaignSubmit(w http.ResponseWriter, r *http.Request) (a
 	if err := spec.Validate(); err != nil {
 		return nil, badRequest("%v", err)
 	}
-	units := spec.Units()
-	if len(units) > s.cfg.MaxCampaignUnits {
-		return nil, badRequest("campaign compiles to %d units, cap is %d", len(units), s.cfg.MaxCampaignUnits)
+	// Count arithmetically before compiling: Units() materializes the full
+	// cross product, so an over-cap spec must be rejected without it — a
+	// small body requesting billions of trials would otherwise allocate
+	// billions of Unit structs before the cap check.
+	units := spec.UnitCount()
+	if units > int64(s.cfg.MaxCampaignUnits) {
+		return nil, badRequest("campaign compiles to %d units, cap is %d", units, s.cfg.MaxCampaignUnits)
 	}
-	return s.campaigns.submit(&spec, len(units))
+	return s.campaigns.submit(&spec, int(units))
 }
 
 // submit registers the campaign and starts it, enforcing the concurrent
@@ -156,6 +161,18 @@ func (cm *campaignManager) execute(run *campaignRun) {
 		run.state = "done"
 	}
 	run.mu.Unlock()
+
+	// Retain only the last CampaignHistory finished runs: a long-running
+	// daemon accepting periodic submissions must not grow the status map
+	// without bound. Evicted IDs poll as 404; the JSONL artifact stays on
+	// disk either way.
+	cm.mu.Lock()
+	cm.finished = append(cm.finished, run.id)
+	for len(cm.finished) > cm.s.cfg.CampaignHistory {
+		delete(cm.runs, cm.finished[0])
+		cm.finished = cm.finished[1:]
+	}
+	cm.mu.Unlock()
 }
 
 func (cm *campaignManager) runToArtifact(run *campaignRun) (campaign.Stats, error) {

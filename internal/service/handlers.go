@@ -84,6 +84,13 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, dst any) err
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return &apiError{
+				status: http.StatusRequestEntityTooLarge,
+				msg:    fmt.Sprintf("request body exceeds %d bytes", mbe.Limit),
+			}
+		}
 		return badRequest("decoding request: %v", err)
 	}
 	return nil

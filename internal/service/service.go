@@ -66,6 +66,11 @@ type Config struct {
 	// MaxCampaignUnits caps a submitted campaign's compiled unit count
 	// (default 65536).
 	MaxCampaignUnits int
+	// CampaignHistory bounds how many finished campaign statuses stay
+	// pollable (default 32). Older finished runs are evicted — their IDs
+	// answer 404 — so periodic submissions cannot grow the status map
+	// without bound; artifacts on disk are unaffected.
+	CampaignHistory int
 	// ArtifactDir is where campaign JSONL artifacts are written (default
 	// the OS temp dir).
 	ArtifactDir string
@@ -104,6 +109,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxCampaignUnits <= 0 {
 		c.MaxCampaignUnits = 1 << 16
+	}
+	if c.CampaignHistory <= 0 {
+		c.CampaignHistory = 32
 	}
 	return c
 }

@@ -327,6 +327,64 @@ func TestCampaignConcurrencyCap(t *testing.T) {
 	if w := postJSON(t, s.Handler(), "/v1/campaign", big); w.Code != http.StatusBadRequest {
 		t.Errorf("oversized campaign: status %d, want 400: %s", w.Code, w.Body.String())
 	}
+	// A tiny body requesting an astronomical unit count is rejected by
+	// arithmetic alone — compiling it first would allocate billions of
+	// units before the cap check.
+	huge := map[string]any{
+		"name": "huge", "seed": 1, "trials": 1_000_000_000,
+		"families": []string{"random-sparse"}, "sizes": []int{16},
+		"tasks": []map[string]any{{"task": "wakeup"}},
+	}
+	if w := postJSON(t, s.Handler(), "/v1/campaign", huge); w.Code != http.StatusBadRequest {
+		t.Errorf("huge campaign: status %d, want 400: %s", w.Code, w.Body.String())
+	}
+}
+
+// TestCampaignHistoryEviction verifies that finished campaign statuses are
+// bounded: with CampaignHistory 1, finishing a second campaign evicts the
+// first, whose ID then polls as 404.
+func TestCampaignHistoryEviction(t *testing.T) {
+	s := newTestServer(t, Config{CampaignHistory: 1})
+	spec := map[string]any{
+		"name": "evict", "seed": 1, "trials": 1,
+		"families": []string{"path"}, "sizes": []int{8},
+		"tasks": []map[string]any{{"task": "wakeup", "schemes": []string{"tree"}}},
+	}
+	submit := func(seed int) string {
+		spec["seed"] = seed
+		w := postJSON(t, s.Handler(), "/v1/campaign", spec)
+		if w.Code != http.StatusOK {
+			t.Fatalf("submit: status %d: %s", w.Code, w.Body.String())
+		}
+		id := decode[campaignSubmitResponse](t, w).ID
+		waitFor(t, "campaign "+id, func() bool {
+			w := getPath(t, s.Handler(), "/v1/campaign/"+id)
+			return w.Code == http.StatusOK &&
+				decode[campaignStatusResponse](t, w).Status != "running"
+		})
+		return id
+	}
+	first := submit(1)
+	second := submit(2)
+	waitFor(t, "first campaign eviction", func() bool {
+		return getPath(t, s.Handler(), "/v1/campaign/"+first).Code == http.StatusNotFound
+	})
+	if w := getPath(t, s.Handler(), "/v1/campaign/"+second); w.Code != http.StatusOK {
+		t.Errorf("second campaign evicted too: status %d", w.Code)
+	}
+}
+
+// TestOversizedBodyReturns413 distinguishes "too big" from "malformed":
+// a body over MaxBodyBytes answers 413, not 400.
+func TestOversizedBodyReturns413(t *testing.T) {
+	s := newTestServer(t, Config{MaxBodyBytes: 64})
+	body := map[string]any{
+		"family": "random-sparse", "n": 16, "seed": 1, "task": "wakeup",
+		"scheme": strings.Repeat("x", 256),
+	}
+	if w := postJSON(t, s.Handler(), "/v1/run", body); w.Code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body: status %d, want 413: %s", w.Code, w.Body.String())
+	}
 }
 
 func TestHealthzAndMetrics(t *testing.T) {
@@ -459,6 +517,7 @@ func TestConfigDefaults(t *testing.T) {
 		{"CacheCapacity", c.CacheCapacity, 128},
 		{"MaxCampaigns", c.MaxCampaigns, 1},
 		{"MaxCampaignUnits", c.MaxCampaignUnits, 1 << 16},
+		{"CampaignHistory", c.CampaignHistory, 32},
 	}
 	for _, tc := range checks {
 		if fmt.Sprint(tc.got) != fmt.Sprint(tc.want) {
