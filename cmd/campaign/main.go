@@ -5,6 +5,7 @@
 //	campaign resume   -out r.jsonl  [-quick | -spec spec.json] [-workers N] [-seed S]
 //	campaign summary  -in r.jsonl  [-baseline old.jsonl] [-format text|markdown]
 //	campaign validate -in r.jsonl
+//	campaign canon    -in r.jsonl  [-o canonical.jsonl]
 //
 // "run" truncates -out (or writes to stdout); "resume" diffs -out against
 // the spec's unit list and completes exactly the missing units. Records
@@ -28,13 +29,14 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-const usage = `usage: campaign <run|resume|summary|validate> [flags]
+const usage = `usage: campaign <run|resume|summary|validate|canon> [flags]
 
 subcommands:
   run       execute a campaign spec (use -quick for the built-in smoke grid)
   resume    complete the units missing from an interrupted -out file
   summary   aggregate a JSONL results file into tables, optionally vs -baseline
   validate  check every JSONL record against the campaign record schema
+  canon     rewrite a JSONL file in canonical order with timing stripped
 `
 
 func run(args []string, out, errOut io.Writer) int {
@@ -51,6 +53,8 @@ func run(args []string, out, errOut io.Writer) int {
 		return cmdSummary(args[1:], out, errOut)
 	case "validate":
 		return cmdValidate(args[1:], out, errOut)
+	case "canon":
+		return cmdCanon(args[1:], out, errOut)
 	default:
 		fmt.Fprintf(errOut, "campaign: unknown subcommand %q\n%s", args[0], usage)
 		return 2
@@ -240,6 +244,45 @@ func renderTable(t *experiments.Table, format string) string {
 		return t.RenderMarkdown()
 	}
 	return t.Render()
+}
+
+// cmdCanon rewrites a results file into its canonical form — wall_ns
+// stripped, records sorted by (unit key, row) — so two artifacts of the
+// same spec compare byte for byte regardless of which machine, worker
+// fleet, or resume history produced them.
+func cmdCanon(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("campaign canon", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	var (
+		in      = fs.String("in", "", "results JSONL file")
+		outPath = fs.String("o", "", "canonical JSONL output (default stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *in == "" {
+		fmt.Fprintln(errOut, "campaign: canon requires -in")
+		return 1
+	}
+	recs, ok := readRecords(*in, errOut)
+	if !ok {
+		return 1
+	}
+	var w io.Writer = out
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(errOut, err)
+			return 1
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := campaign.EncodeRecords(w, campaign.Canonicalize(recs)); err != nil {
+		fmt.Fprintln(errOut, err)
+		return 1
+	}
+	return 0
 }
 
 func cmdValidate(args []string, out, errOut io.Writer) int {

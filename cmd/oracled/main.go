@@ -5,6 +5,7 @@
 //	POST /v1/run           one task/oracle/scheduler simulation (oraclesim as an API)
 //	POST /v1/campaign      submit an async campaign (JSONL artifact on disk)
 //	GET  /v1/campaign/{id} poll a submitted campaign
+//	POST /v1/shard         execute a contiguous unit range of a campaign spec
 //	GET  /healthz          liveness and load snapshot
 //	GET  /metrics          Prometheus text-format metrics
 //
@@ -38,15 +39,16 @@ func run(args []string, out, errOut io.Writer) int {
 	fs := flag.NewFlagSet("oracled", flag.ContinueOnError)
 	fs.SetOutput(errOut)
 	var (
-		addr     = fs.String("addr", ":8080", "listen address")
-		workers  = fs.Int("workers", 0, "simulation workers (0 = GOMAXPROCS)")
-		queue    = fs.Int("queue", 64, "work queue depth; a full queue sheds load with 503")
-		timeout  = fs.Duration("timeout", 30*time.Second, "per-request deadline (queue wait + execution)")
-		drain    = fs.Duration("drain", 15*time.Second, "graceful shutdown drain budget")
-		maxNodes = fs.Int("max-nodes", 4096, "largest accepted n")
-		maxEdges = fs.Int("max-edges", 1<<20, "largest accepted instance edge count")
-		cache    = fs.Int("cache", 128, "instance cache capacity (entries)")
-		artifact = fs.String("artifacts", "", "campaign artifact directory (default: OS temp dir)")
+		addr       = fs.String("addr", ":8080", "listen address")
+		workers    = fs.Int("workers", 0, "simulation workers (0 = GOMAXPROCS)")
+		queue      = fs.Int("queue", 64, "work queue depth; a full queue sheds load with 503")
+		timeout    = fs.Duration("timeout", 30*time.Second, "per-request deadline (queue wait + execution)")
+		drain      = fs.Duration("drain", 15*time.Second, "graceful shutdown drain budget")
+		maxNodes   = fs.Int("max-nodes", 4096, "largest accepted n")
+		maxEdges   = fs.Int("max-edges", 1<<20, "largest accepted instance edge count")
+		cache      = fs.Int("cache", 128, "instance cache capacity (entries)")
+		artifact   = fs.String("artifacts", "", "campaign artifact directory (default: OS temp dir)")
+		shardUnits = fs.Int("max-shard-units", 1<<10, "largest unit batch accepted by POST /v1/shard")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -60,6 +62,7 @@ func run(args []string, out, errOut io.Writer) int {
 		MaxEdges:       *maxEdges,
 		CacheCapacity:  *cache,
 		ArtifactDir:    *artifact,
+		MaxShardUnits:  *shardUnits,
 	})
 
 	httpSrv := &http.Server{

@@ -1,0 +1,187 @@
+// Command oracleherd fans a campaign sweep out over a fleet of oracled
+// workers (see internal/cluster). It compiles the spec into deterministic
+// unit shards, leases them to workers over POST /v1/shard, and merges the
+// results into the same resumable JSONL artifact a local `campaign run`
+// writes — byte-identical apart from wall_ns.
+//
+//	oracleherd -workers http://a:8080,http://b:8080 (-quick | -spec spec.json)
+//	           -out results.jsonl [-resume] [-seed S]
+//	           [-shard-size 32] [-slots 2] [-lease 2m] [-hedge-after 30s]
+//	           [-retries 8] [-allow-skew] [-metrics :9090]
+//
+// The fleet may be unreliable: failed dispatches retry with backoff
+// honoring Retry-After, repeatedly failing workers are circuit-broken,
+// expired leases are reassigned, and stragglers are hedged to idle workers
+// with duplicate results dropped by the idempotent merge. With -metrics,
+// the coordinator serves its own Prometheus page while the run is active.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"oraclesize/internal/campaign"
+	"oraclesize/internal/cluster"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("oracleherd", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	var (
+		workers    = fs.String("workers", "", "comma-separated oracled base URLs (required)")
+		specPath   = fs.String("spec", "", "campaign spec file (JSON)")
+		quick      = fs.Bool("quick", false, "use the built-in quick smoke spec")
+		outPath    = fs.String("out", "", "merged results JSONL file (required)")
+		resume     = fs.Bool("resume", false, "resume -out: dispatch only the units it is missing")
+		seed       = fs.Int64("seed", 0, "override the spec seed")
+		shardSize  = fs.Int("shard-size", 32, "consecutive units per shard")
+		slots      = fs.Int("slots", 2, "shards leased to one worker at a time")
+		lease      = fs.Duration("lease", 2*time.Minute, "per-shard lease; an expired lease is reassigned")
+		hedgeAfter = fs.Duration("hedge-after", 30*time.Second, "re-dispatch a shard in flight this long (negative disables)")
+		retries    = fs.Int("retries", 8, "per-shard dispatch attempts before the run fails")
+		allowSkew  = fs.Bool("allow-skew", false, "accept workers whose catalog fingerprint differs")
+		metrics    = fs.String("metrics", "", "serve coordinator Prometheus metrics on this address")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *workers == "" {
+		fmt.Fprintln(errOut, "oracleherd: -workers is required")
+		return 2
+	}
+	if *outPath == "" {
+		fmt.Fprintln(errOut, "oracleherd: -out is required")
+		return 2
+	}
+	var urls []string
+	for _, u := range strings.Split(*workers, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, strings.TrimRight(u, "/"))
+		}
+	}
+
+	var spec *campaign.Spec
+	switch {
+	case *specPath != "":
+		s, err := campaign.LoadSpec(*specPath)
+		if err != nil {
+			fmt.Fprintln(errOut, err)
+			return 1
+		}
+		spec = s
+	case *quick:
+		spec = campaign.QuickSpec()
+	default:
+		fmt.Fprintln(errOut, "oracleherd: need -spec file or -quick")
+		return 2
+	}
+	seedSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "seed" {
+			seedSet = true
+		}
+	})
+	if seedSet {
+		spec.Seed = *seed
+	}
+
+	// Resume mirrors `campaign resume`: load the done set, verify the file
+	// belongs to this spec, and drop any torn final line before appending.
+	done := map[string]bool{}
+	var validLen int64
+	if *resume {
+		var recs []campaign.Record
+		var err error
+		done, recs, validLen, err = campaign.LoadDoneFile(*outPath)
+		if err != nil {
+			fmt.Fprintln(errOut, err)
+			return 1
+		}
+		if hash := spec.Hash(); len(recs) > 0 && recs[0].SpecHash != hash {
+			fmt.Fprintf(errOut, "oracleherd: %s was produced by spec %s, not %s — refusing to resume\n",
+				*outPath, recs[0].SpecHash, hash)
+			return 1
+		}
+	}
+	f, err := os.OpenFile(*outPath, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		fmt.Fprintln(errOut, err)
+		return 1
+	}
+	defer f.Close()
+	if err := f.Truncate(validLen); err != nil {
+		fmt.Fprintln(errOut, err)
+		return 1
+	}
+	if _, err := f.Seek(validLen, io.SeekStart); err != nil {
+		fmt.Fprintln(errOut, err)
+		return 1
+	}
+
+	coord, err := cluster.New(cluster.Config{
+		Workers:      urls,
+		ShardSize:    *shardSize,
+		Slots:        *slots,
+		LeaseTimeout: *lease,
+		HedgeAfter:   *hedgeAfter,
+		MaxAttempts:  *retries,
+		AllowSkew:    *allowSkew,
+		Logf: func(format string, a ...any) {
+			fmt.Fprintf(errOut, format+"\n", a...)
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(errOut, err)
+		return 1
+	}
+
+	if *metrics != "" {
+		mux := http.NewServeMux()
+		mux.Handle("GET /metrics", coord.Metrics())
+		msrv := &http.Server{Addr: *metrics, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+		go func() {
+			if err := msrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(errOut, "oracleherd: metrics server: %v\n", err)
+			}
+		}()
+		defer msrv.Close()
+		fmt.Fprintf(errOut, "oracleherd: metrics on %s\n", *metrics)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	start := time.Now()
+	stats, err := coord.Run(ctx, spec, campaign.NewSink(f), done)
+	if err != nil {
+		// The artifact still holds a valid prefix; -resume completes it.
+		fmt.Fprintln(errOut, err)
+		return 1
+	}
+	fmt.Fprintf(errOut, "oracleherd %s %s: %d units in %d shards (%d resumed), %d records, %d retries, %d hedges, %d reassignments, %d dedup drops, wall %v\n",
+		spec.Name, spec.Hash(), stats.Units, stats.Shards, stats.Skipped, stats.Records,
+		stats.Retries, stats.Hedges, stats.Reassignments, stats.DedupDropped,
+		time.Since(start).Round(time.Millisecond))
+	names := make([]string, 0, len(stats.WorkerShards))
+	for u := range stats.WorkerShards {
+		names = append(names, u)
+	}
+	sort.Strings(names)
+	for _, u := range names {
+		fmt.Fprintf(out, "  %s: %d shards\n", u, stats.WorkerShards[u])
+	}
+	return 0
+}

@@ -7,9 +7,13 @@
 //	oracleload [-url http://host:8080] [-c 8] [-d 5s] [-task broadcast]
 //	           [-family random] [-n 256] [-seeds 8] [-label current]
 //	           [-o BENCH_serve.json]
+//	oracleload -shard [-shard-units 8] [-scheme flooding] [...same flags]
 //
 // With no -url, oracleload spins up an in-process oracled (no network) and
-// drives it through its handler — the mode CI's smoke job uses.
+// drives it through its handler — the mode CI's smoke job uses. -shard
+// switches the request stream from single-simulation /v1/run calls to the
+// batch /v1/shard endpoint oracleherd drives, so the serve trajectory
+// tracks both paths.
 package main
 
 import (
@@ -27,6 +31,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"oraclesize/internal/campaign"
 	"oraclesize/internal/service"
 )
 
@@ -38,10 +43,14 @@ type File struct {
 
 // Entry is one oracleload invocation.
 type Entry struct {
-	Label       string  `json:"label"`
-	Go          string  `json:"go"`
-	GOOS        string  `json:"goos"`
-	GOARCH      string  `json:"goarch"`
+	Label  string `json:"label"`
+	Go     string `json:"go"`
+	GOOS   string `json:"goos"`
+	GOARCH string `json:"goarch"`
+	// Mode distinguishes the request stream: "" or "run" is /v1/run,
+	// "shard" is /v1/shard with ShardUnits units per request.
+	Mode        string  `json:"mode,omitempty"`
+	ShardUnits  int     `json:"shard_units,omitempty"`
 	Task        string  `json:"task"`
 	Family      string  `json:"family"`
 	Nodes       int     `json:"nodes"`
@@ -69,21 +78,28 @@ func run(args []string, out, errOut io.Writer) int {
 	fs := flag.NewFlagSet("oracleload", flag.ContinueOnError)
 	fs.SetOutput(errOut)
 	var (
-		baseURL = fs.String("url", "", "oracled base URL (empty: drive an in-process server)")
-		clients = fs.Int("c", 8, "concurrent closed-loop clients")
-		dur     = fs.Duration("d", 5*time.Second, "load duration")
-		task    = fs.String("task", "broadcast", "task for /v1/run requests")
-		family  = fs.String("family", "random-sparse", "graph family")
-		n       = fs.Int("n", 256, "graph size")
-		seeds   = fs.Int("seeds", 8, "distinct instance seeds to rotate through")
-		label   = fs.String("label", "current", "label for this entry")
-		outPath = fs.String("o", "BENCH_serve.json", "serve trajectory file to append to")
+		baseURL    = fs.String("url", "", "oracled base URL (empty: drive an in-process server)")
+		clients    = fs.Int("c", 8, "concurrent closed-loop clients")
+		dur        = fs.Duration("d", 5*time.Second, "load duration")
+		task       = fs.String("task", "broadcast", "task for /v1/run requests")
+		family     = fs.String("family", "random-sparse", "graph family")
+		n          = fs.Int("n", 256, "graph size")
+		seeds      = fs.Int("seeds", 8, "distinct instance seeds to rotate through")
+		label      = fs.String("label", "current", "label for this entry")
+		outPath    = fs.String("o", "BENCH_serve.json", "serve trajectory file to append to")
+		shard      = fs.Bool("shard", false, "drive POST /v1/shard batches instead of /v1/run")
+		shardUnits = fs.Int("shard-units", 8, "units per shard request (with -shard)")
+		scheme     = fs.String("scheme", "flooding", "scheme for shard-mode specs")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if *clients < 1 || *seeds < 1 {
 		fmt.Fprintln(errOut, "oracleload: -c and -seeds must be >= 1")
+		return 2
+	}
+	if *shard && *shardUnits < 1 {
+		fmt.Fprintln(errOut, "oracleload: -shard-units must be >= 1")
 		return 2
 	}
 
@@ -98,25 +114,58 @@ func run(args []string, out, errOut io.Writer) int {
 		httpClient = ts.Client()
 	}
 
-	type runReq struct {
-		Family string `json:"family"`
-		N      int    `json:"n"`
-		Seed   int64  `json:"seed"`
-		Task   string `json:"task"`
-	}
+	// Build the rotating request bodies: /v1/run varies the instance seed,
+	// /v1/shard varies the spec seed so each body compiles distinct units.
+	endpoint := url + "/v1/run"
 	bodies := make([][]byte, *seeds)
-	for i := range bodies {
-		b, err := json.Marshal(runReq{Family: *family, N: *n, Seed: int64(i + 1), Task: *task})
-		if err != nil {
-			fmt.Fprintln(errOut, err)
-			return 1
+	if *shard {
+		endpoint = url + "/v1/shard"
+		type shardReq struct {
+			Spec  *campaign.Spec `json:"spec"`
+			Start int            `json:"start"`
+			End   int            `json:"end"`
 		}
-		bodies[i] = b
+		for i := range bodies {
+			spec := &campaign.Spec{
+				Name:     "oracleload-shard",
+				Seed:     int64(i + 1),
+				Trials:   *shardUnits,
+				Families: []string{*family},
+				Sizes:    []int{*n},
+				Tasks:    []campaign.TaskSpec{{Task: *task, Schemes: []string{*scheme}}},
+				Quick:    true,
+			}
+			if err := spec.Validate(); err != nil {
+				fmt.Fprintln(errOut, err)
+				return 1
+			}
+			b, err := json.Marshal(shardReq{Spec: spec, Start: 0, End: *shardUnits})
+			if err != nil {
+				fmt.Fprintln(errOut, err)
+				return 1
+			}
+			bodies[i] = b
+		}
+	} else {
+		type runReq struct {
+			Family string `json:"family"`
+			N      int    `json:"n"`
+			Seed   int64  `json:"seed"`
+			Task   string `json:"task"`
+		}
+		for i := range bodies {
+			b, err := json.Marshal(runReq{Family: *family, N: *n, Seed: int64(i + 1), Task: *task})
+			if err != nil {
+				fmt.Fprintln(errOut, err)
+				return 1
+			}
+			bodies[i] = b
+		}
 	}
 
 	// Warm the instance cache so the measured window reflects steady state.
 	for _, b := range bodies {
-		resp, err := httpClient.Post(url+"/v1/run", "application/json", bytes.NewReader(b))
+		resp, err := httpClient.Post(endpoint, "application/json", bytes.NewReader(b))
 		if err != nil {
 			fmt.Fprintf(errOut, "oracleload: warmup: %v\n", err)
 			return 1
@@ -147,7 +196,7 @@ func run(args []string, out, errOut io.Writer) int {
 			for i := 0; time.Now().Before(deadline); i++ {
 				body := bodies[(c+i)%len(bodies)]
 				start := time.Now()
-				resp, err := httpClient.Post(url+"/v1/run", "application/json", bytes.NewReader(body))
+				resp, err := httpClient.Post(endpoint, "application/json", bytes.NewReader(body))
 				elapsed := time.Since(start)
 				requests.Add(1)
 				if err != nil {
@@ -186,11 +235,19 @@ func run(args []string, out, errOut io.Writer) int {
 		sum += l
 	}
 
+	mode := ""
+	units := 0
+	if *shard {
+		mode = "shard"
+		units = *shardUnits
+	}
 	entry := Entry{
 		Label:       *label,
 		Go:          runtime.Version(),
 		GOOS:        runtime.GOOS,
 		GOARCH:      runtime.GOARCH,
+		Mode:        mode,
+		ShardUnits:  units,
 		Task:        *task,
 		Family:      *family,
 		Nodes:       *n,

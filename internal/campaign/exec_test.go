@@ -210,8 +210,11 @@ func TestSinkOrdersOutOfOrderDeposits(t *testing.T) {
 	if len(gotOrder) != 2 || gotOrder[0] != "u0" || gotOrder[1] != "u2" {
 		t.Errorf("flush order %v", gotOrder)
 	}
-	if err := s.Deposit(0, rec("dup")); err == nil {
-		t.Error("duplicate deposit accepted")
+	if err := s.Deposit(0, rec("dup")); err != nil {
+		t.Errorf("duplicate deposit errored instead of deduping: %v", err)
+	}
+	if s.Deduped() != 1 || s.Written() != 2 {
+		t.Errorf("deduped=%d written=%d after duplicate deposit", s.Deduped(), s.Written())
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 )
 
 // Record is one self-describing JSONL line. Task units emit exactly one;
@@ -113,6 +114,40 @@ func (r Record) encode(buf []byte) ([]byte, error) {
 	}
 	buf = append(buf, line...)
 	return append(buf, '\n'), nil
+}
+
+// Canonicalize returns a copy of the records in canonical order — sorted
+// by unit key, then row — with timing stripped. Two result files produced
+// from the same spec and seed canonicalize to identical bytes regardless
+// of which machine (or fleet) ran which unit, which is the determinism
+// contract distributed runs are checked against.
+func Canonicalize(recs []Record) []Record {
+	out := make([]Record, len(recs))
+	for i, r := range recs {
+		out[i] = r.StripTiming()
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Unit != out[j].Unit {
+			return out[i].Unit < out[j].Unit
+		}
+		return out[i].Row < out[j].Row
+	})
+	return out
+}
+
+// EncodeRecords writes records as JSONL, one line per record.
+func EncodeRecords(w io.Writer, recs []Record) error {
+	var buf []byte
+	for _, r := range recs {
+		var err error
+		if buf, err = r.encode(buf[:0]); err != nil {
+			return err
+		}
+		if _, err := w.Write(buf); err != nil {
+			return fmt.Errorf("campaign: writing record %s: %w", r.Unit, err)
+		}
+	}
+	return nil
 }
 
 // DecodeRecords parses a JSONL stream. It stops at the first malformed

@@ -23,6 +23,7 @@ type Sink struct {
 	pending map[int][]Record
 	flushed int
 	written int
+	deduped int
 }
 
 // NewSink wraps w; the caller owns closing any underlying file.
@@ -33,11 +34,19 @@ func NewSink(w io.Writer) *Sink {
 // Deposit hands the sink the records of unit index (nil for a unit skipped
 // on resume) and flushes every consecutive ready unit. Safe for concurrent
 // use by pool workers.
+//
+// Deposits are idempotent: a second deposit for an index already pending or
+// already flushed — as produced by hedged shard dispatch, a reassigned
+// lease whose original holder completed anyway, or a resumed run replaying
+// a unit — is dropped and counted (see Deduped). The first deposit wins;
+// units are deterministic in (spec, seed), so dropped duplicates carry the
+// same payload apart from wall-time fields.
 func (s *Sink) Deposit(index int, recs []Record) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, dup := s.pending[index]; dup || index < s.next {
-		return fmt.Errorf("campaign: sink: duplicate deposit for unit %d", index)
+		s.deduped++
+		return nil
 	}
 	if recs == nil {
 		recs = []Record{}
@@ -79,6 +88,13 @@ func (s *Sink) Written() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.written
+}
+
+// Deduped reports how many duplicate deposits have been dropped so far.
+func (s *Sink) Deduped() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.deduped
 }
 
 // LoadDone reads an existing results stream and returns the set of unit

@@ -14,6 +14,7 @@
 package catalog
 
 import (
+	"crypto/sha256"
 	"fmt"
 	"strings"
 
@@ -186,6 +187,39 @@ func TaskByName(name string) (Task, error) {
 	}
 	return Task{}, fmt.Errorf("catalog: unknown task %q (have %s)",
 		name, strings.Join(TaskNames(), " | "))
+}
+
+// Fingerprint digests every registered name — tasks, their schemes and
+// aliases, graph families, schedulers — into a short hex string. Two
+// processes with equal fingerprints resolve the same names to the same
+// registry entries, which is the precondition for a distributed campaign's
+// byte-identical-merge contract: oracleherd compares its own fingerprint
+// against the one each worker reports in /healthz and refuses fleets that
+// disagree. The digest covers names and registry order, not code, so it
+// catches version skew in what is selectable rather than guaranteeing
+// identical binaries.
+func Fingerprint() string {
+	h := sha256.New()
+	field := func(parts ...string) {
+		for _, p := range parts {
+			h.Write([]byte(p))
+			h.Write([]byte{0})
+		}
+		h.Write([]byte{'\n'})
+	}
+	for _, t := range Tasks() {
+		field("task", t.Name)
+		for _, sc := range t.Schemes {
+			field(append([]string{"scheme", t.Name, sc.Name}, sc.Aliases...)...)
+		}
+	}
+	for _, f := range FamilyNames() {
+		field("family", f)
+	}
+	for _, s := range SchedulerNames() {
+		field("scheduler", s)
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:8])
 }
 
 // MessageBudget is the generous per-run send cap used when a caller does

@@ -1,0 +1,391 @@
+// Package cluster implements oracleherd's coordinator: it compiles a
+// campaign.Spec into deterministic unit shards, leases them to a fleet of
+// oracled workers over the HTTP/JSON API (POST /v1/shard), and merges the
+// per-shard results into the same resumable JSONL artifact format the
+// local engine writes. Because shard boundaries, unit seeds and record
+// contents are all pure functions of (spec, seed), a distributed run is
+// byte-identical — after canonical unit ordering, modulo wall-time fields —
+// to a single-machine campaign.Run of the same spec.
+//
+// The coordinator is built for an unreliable fleet:
+//
+//   - every dispatch carries a lease deadline; a crashed or hung worker's
+//     shard is reassigned when the lease expires
+//   - failed dispatches retry with exponential backoff plus jitter,
+//     honoring Retry-After on 503/504 shed responses
+//   - workers that fail repeatedly are circuit-broken and re-admitted
+//     through a half-open trial after a cooldown
+//   - stragglers are hedged: a shard in flight longer than HedgeAfter is
+//     re-dispatched to a different idle worker, the first result wins, and
+//     the loser's records are dropped by the idempotent sink
+//   - /metrics (see Coordinator.Metrics) exposes shards in flight,
+//     retries, hedges, reassignments, dedup drops and per-worker latency
+//     histograms in Prometheus text format
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+
+	"oraclesize/internal/campaign"
+	"oraclesize/internal/catalog"
+)
+
+// Config describes the fleet and the coordinator's robustness envelope.
+// Zero values select the documented defaults.
+type Config struct {
+	// Workers lists the oracled base URLs (e.g. "http://10.0.0.7:8080").
+	// At least one worker must pass the initial health probe.
+	Workers []string
+	// ShardSize is the number of consecutive units per shard (default 32).
+	ShardSize int
+	// Slots is the number of shards leased to one worker at a time
+	// (default 2): enough to keep a worker's queue fed without parking
+	// most of the campaign on whichever worker answers first.
+	Slots int
+	// LeaseTimeout bounds one shard dispatch end to end (default 2m). An
+	// expired lease counts as a dispatch failure and the shard is
+	// requeued, so a crashed worker cannot strand its shards.
+	LeaseTimeout time.Duration
+	// HedgeAfter re-dispatches a shard still in flight after this long to
+	// a second worker (default 30s; negative disables hedging). The first
+	// result wins; the loser's records dedup away in the sink.
+	HedgeAfter time.Duration
+	// MaxAttempts is the per-shard dispatch budget (default 8). A shard
+	// failing this many times fails the run.
+	MaxAttempts int
+	// BackoffBase and BackoffMax bound the per-worker retry backoff
+	// (defaults 100ms and 5s). The delay doubles per consecutive failure,
+	// jittered to half-to-full value, and is overridden upward by a
+	// worker's Retry-After hint.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// BreakerThreshold opens a worker's circuit after this many
+	// consecutive failures (default 3); BreakerCooldown (default 10s) is
+	// how long the circuit stays open before one half-open trial.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// ProbeTimeout bounds one /healthz probe (default 5s).
+	ProbeTimeout time.Duration
+	// AllowSkew admits fleets whose catalog fingerprints disagree with the
+	// coordinator's. Off by default: skew breaks the byte-identical-merge
+	// contract, so mismatches fail Probe unless explicitly allowed.
+	AllowSkew bool
+	// Seed drives retry jitter and nothing else; results never depend on
+	// it. Zero selects 1.
+	Seed int64
+	// Client is the HTTP client for all worker calls (default: a fresh
+	// client with no global timeout; per-dispatch contexts bound every
+	// call).
+	Client *http.Client
+	// Logf, when set, receives coordinator progress lines.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.ShardSize <= 0 {
+		c.ShardSize = 32
+	}
+	if c.Slots <= 0 {
+		c.Slots = 2
+	}
+	if c.LeaseTimeout <= 0 {
+		c.LeaseTimeout = 2 * time.Minute
+	}
+	if c.HedgeAfter == 0 {
+		c.HedgeAfter = 30 * time.Second
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 8
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 100 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 5 * time.Second
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 10 * time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 5 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{}
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Stats summarizes one distributed run.
+type Stats struct {
+	// Units and Shards describe the compiled work list; Skipped counts
+	// units satisfied by the resume set before dispatch.
+	Units   int
+	Shards  int
+	Skipped int
+	// Records is the number of JSONL records the sink wrote.
+	Records int
+	// Retries counts failed dispatches that were requeued, Hedges
+	// speculative re-dispatches of stragglers, Reassignments shards whose
+	// retry landed on a different worker than the one that failed it.
+	Retries       int64
+	Hedges        int64
+	Reassignments int64
+	// DedupDropped counts records the sink dropped as duplicates (hedge
+	// losers and re-runs of already-done units).
+	DedupDropped int64
+	// WorkerShards counts successful shard completions per worker URL.
+	WorkerShards map[string]int64
+}
+
+// Coordinator runs distributed campaigns over a fixed fleet. Construct
+// with New; Metrics may be served concurrently with Run.
+type Coordinator struct {
+	cfg     Config
+	workers []*worker
+	m       *metrics
+	rng     *lockedRand
+
+	mu  sync.Mutex
+	cur *runState // active run, nil between runs; read by the metrics renderer
+}
+
+// New validates the fleet configuration and builds a coordinator. No
+// network traffic happens until Probe or Run.
+func New(cfg Config) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Workers) == 0 {
+		return nil, fmt.Errorf("cluster: no workers configured")
+	}
+	seen := make(map[string]bool, len(cfg.Workers))
+	c := &Coordinator{cfg: cfg, m: newMetrics(), rng: newLockedRand(cfg.Seed)}
+	for _, url := range cfg.Workers {
+		if url == "" || seen[url] {
+			return nil, fmt.Errorf("cluster: empty or duplicate worker URL %q", url)
+		}
+		seen[url] = true
+		c.workers = append(c.workers, newWorker(url, &c.cfg, c.m, c.rng))
+	}
+	return c, nil
+}
+
+// Probe health-checks every worker. It succeeds when at least one worker
+// is reachable and every reachable worker's catalog fingerprint matches
+// the coordinator's (unless AllowSkew). Unreachable workers stay in the
+// fleet with their circuit open, so they are retried via the half-open
+// path once the run is underway.
+func (c *Coordinator) Probe(ctx context.Context) error {
+	local := catalog.Fingerprint()
+	var wg sync.WaitGroup
+	wg.Add(len(c.workers))
+	for _, w := range c.workers {
+		go func(w *worker) {
+			defer wg.Done()
+			w.probe(ctx)
+		}(w)
+	}
+	wg.Wait()
+	up := 0
+	for _, w := range c.workers {
+		h := w.health()
+		if !h.up {
+			c.cfg.Logf("cluster: worker %s unreachable: %v", w.url, h.err)
+			continue
+		}
+		up++
+		c.cfg.Logf("cluster: worker %s up: go %s module %s revision %s catalog %s",
+			w.url, h.build.GoVersion, h.build.ModuleVersion, h.build.Revision, h.fingerprint)
+		if h.fingerprint != local {
+			if !c.cfg.AllowSkew {
+				return fmt.Errorf("cluster: worker %s catalog fingerprint %s != coordinator %s (version skew breaks the determinism contract; pass AllowSkew to override)",
+					w.url, h.fingerprint, local)
+			}
+			c.cfg.Logf("cluster: WARNING: worker %s catalog fingerprint %s != coordinator %s", w.url, h.fingerprint, local)
+		}
+	}
+	if up == 0 {
+		return fmt.Errorf("cluster: no worker of %d passed the health probe", len(c.workers))
+	}
+	return nil
+}
+
+// Run executes the spec across the fleet, streaming merged records into
+// the sink in unit-index order. done marks unit keys already present in a
+// resumed artifact; those units are skipped (nil-deposited) exactly like a
+// local resume, and shards made entirely of done units are never
+// dispatched. Run returns when every unit has merged, the context is
+// cancelled, or a shard exhausts its attempt budget.
+func (c *Coordinator) Run(ctx context.Context, spec *campaign.Spec, sink *campaign.Sink, done map[string]bool) (Stats, error) {
+	if err := spec.Validate(); err != nil {
+		return Stats{}, err
+	}
+	if err := c.Probe(ctx); err != nil {
+		return Stats{}, err
+	}
+	units := spec.Units()
+	shards := campaign.Shards(len(units), c.cfg.ShardSize)
+
+	skipped := 0
+	for i, u := range units {
+		if done[u.Key()] {
+			skipped++
+			if err := sink.Deposit(i, nil); err != nil {
+				return Stats{}, err
+			}
+		}
+	}
+
+	st := newRunState(sink, c.m, c.cfg.MaxAttempts)
+	for _, sh := range shards {
+		missing := false
+		for i := sh.Start; i < sh.End && !missing; i++ {
+			missing = !done[units[i].Key()]
+		}
+		if missing {
+			st.add(sh)
+		}
+	}
+	c.cfg.Logf("cluster: %s %s: %d units in %d shards (%d to run, %d units resumed) across %d workers",
+		spec.Name, spec.Hash(), len(units), len(shards), len(st.pending), skipped, len(c.workers))
+
+	c.mu.Lock()
+	c.cur = st
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		c.cur = nil
+		c.mu.Unlock()
+	}()
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	go func() {
+		// Tear down in-flight dispatches (hedge losers, doomed retries) the
+		// moment the run finishes instead of waiting out their leases.
+		select {
+		case <-st.doneCh:
+			cancel()
+		case <-runCtx.Done():
+		}
+	}()
+	var wg sync.WaitGroup
+	for _, w := range c.workers {
+		for s := 0; s < c.cfg.Slots; s++ {
+			wg.Add(1)
+			go func(w *worker) {
+				defer wg.Done()
+				c.slotLoop(runCtx, st, w, spec, units)
+			}(w)
+		}
+	}
+	wg.Wait()
+
+	stats := Stats{
+		Units:         len(units),
+		Shards:        len(shards),
+		Skipped:       skipped,
+		Records:       sink.Written(),
+		Retries:       c.m.retries.Load(),
+		Hedges:        c.m.hedges.Load(),
+		Reassignments: c.m.reassignments.Load(),
+		DedupDropped:  int64(sink.Deduped()),
+		WorkerShards:  make(map[string]int64, len(c.workers)),
+	}
+	for _, w := range c.workers {
+		stats.WorkerShards[w.url] = w.completions.Load()
+	}
+	if err := st.err(); err != nil {
+		return stats, err
+	}
+	if err := ctx.Err(); err != nil {
+		return stats, err
+	}
+	return stats, nil
+}
+
+// slotLoop is one lease slot on one worker: it acquires the next runnable
+// shard (fresh work first, then hedge candidates), dispatches it under the
+// lease deadline, and merges or requeues the outcome. The loop exits when
+// the run finishes, fails, or the context is cancelled.
+func (c *Coordinator) slotLoop(ctx context.Context, st *runState, w *worker, spec *campaign.Spec, units []campaign.Unit) {
+	for {
+		if st.finished() || ctx.Err() != nil {
+			st.wakeAll() // unblock sibling slots so the run tears down promptly
+			return
+		}
+		if wait, ok := w.gate(); !ok {
+			st.sleep(ctx, wait)
+			continue
+		}
+		s, hedge := st.acquire(w, c.cfg.HedgeAfter)
+		if s == nil {
+			st.sleep(ctx, 25*time.Millisecond)
+			continue
+		}
+		if hedge {
+			c.m.hedges.Add(1)
+			c.cfg.Logf("cluster: hedging %v on %s", s.sh, w.url)
+		}
+		dispatchCtx, cancel := context.WithTimeout(ctx, c.cfg.LeaseTimeout)
+		start := time.Now()
+		batches, err := w.dispatch(dispatchCtx, spec, s.sh)
+		cancel()
+		c.m.observeShard(w.url, err == nil, time.Since(start))
+		if err != nil {
+			if ctx.Err() != nil {
+				// The run was cancelled or already finished; the failure is
+				// an artifact of teardown, not the worker's fault.
+				continue
+			}
+			w.fail(err)
+			requeued := st.release(s, w, err)
+			if requeued {
+				c.m.retries.Add(1)
+				c.cfg.Logf("cluster: %v failed on %s (attempt %d/%d): %v", s.sh, w.url, s.failures, c.cfg.MaxAttempts, err)
+			}
+			continue
+		}
+		w.ok()
+		if err := st.complete(s, w, batches); err != nil {
+			st.fail(err)
+			return
+		}
+	}
+}
+
+// Metrics returns an http.Handler exposing the coordinator's Prometheus
+// text-format metrics; safe to serve while Run is active.
+func (c *Coordinator) Metrics() http.Handler { return http.HandlerFunc(c.handleMetrics) }
+
+// lockedRand is the jitter source shared by worker backoff timers.
+type lockedRand struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func newLockedRand(seed int64) *lockedRand {
+	return &lockedRand{rng: rand.New(rand.NewSource(seed))}
+}
+
+// jitter returns a duration in [d/2, d).
+func (r *lockedRand) jitter(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return d/2 + time.Duration(r.rng.Int63n(int64(d/2)))
+}

@@ -1,0 +1,487 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"oraclesize/internal/campaign"
+	"oraclesize/internal/service"
+)
+
+var wallRe = regexp.MustCompile(`"wall_ns":\d+`)
+
+func stripWall(jsonl []byte) string {
+	return wallRe.ReplaceAllString(string(jsonl), `"wall_ns":0`)
+}
+
+// localRun produces the single-machine reference artifact the distributed
+// merge must match byte for byte (modulo wall_ns).
+func localRun(t *testing.T, spec *campaign.Spec, done map[string]bool) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	sink := campaign.NewSink(&buf)
+	if _, err := campaign.Run(spec, sink, campaign.RunOptions{Workers: 4, Done: done}); err != nil {
+		t.Fatalf("local reference run: %v", err)
+	}
+	return &buf
+}
+
+// newWorkerServer starts a real oracled handler behind httptest, optionally
+// wrapped to inject faults.
+func newWorkerServer(t *testing.T, wrap func(http.Handler) http.Handler) *httptest.Server {
+	t.Helper()
+	srv := service.New(service.Config{Workers: 2, QueueDepth: 32, ArtifactDir: t.TempDir()})
+	t.Cleanup(srv.Stop)
+	h := srv.Handler()
+	if wrap != nil {
+		h = wrap(h)
+	}
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// fastConfig keeps retry/breaker timing test-sized.
+func fastConfig(workers ...string) Config {
+	return Config{
+		Workers:          workers,
+		ShardSize:        5,
+		Slots:            1,
+		LeaseTimeout:     30 * time.Second,
+		HedgeAfter:       -1, // tests opt in explicitly
+		MaxAttempts:      8,
+		BackoffBase:      time.Millisecond,
+		BackoffMax:       10 * time.Millisecond,
+		BreakerThreshold: 2,
+		BreakerCooldown:  time.Minute,
+		ProbeTimeout:     5 * time.Second,
+	}
+}
+
+func TestDistributedMatchesLocal(t *testing.T) {
+	spec := campaign.QuickSpec()
+	want := localRun(t, spec, nil)
+
+	var urls []string
+	for i := 0; i < 3; i++ {
+		urls = append(urls, newWorkerServer(t, nil).URL)
+	}
+	c, err := New(fastConfig(urls...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	stats, err := c.Run(context.Background(), spec, campaign.NewSink(&buf), nil)
+	if err != nil {
+		t.Fatalf("distributed run: %v", err)
+	}
+	if stripWall(buf.Bytes()) != stripWall(want.Bytes()) {
+		t.Fatalf("distributed artifact differs from local run\ngot:\n%s\nwant:\n%s", buf.String(), want.String())
+	}
+	units := len(spec.Units())
+	wantShards := (units + 4) / 5
+	if stats.Units != units || stats.Shards != wantShards || stats.Skipped != 0 {
+		t.Fatalf("stats = %+v, want %d units in %d shards", stats, units, wantShards)
+	}
+	var completed int64
+	for _, n := range stats.WorkerShards {
+		completed += n
+	}
+	if completed != int64(wantShards) {
+		t.Fatalf("worker completions sum to %d, want %d: %v", completed, wantShards, stats.WorkerShards)
+	}
+}
+
+func TestResumeSkipsDoneUnits(t *testing.T) {
+	spec := campaign.QuickSpec()
+	units := spec.Units()
+	done := make(map[string]bool)
+	for _, u := range units[:10] {
+		done[u.Key()] = true
+	}
+	want := localRun(t, spec, done)
+
+	ts := newWorkerServer(t, nil)
+	c, err := New(fastConfig(ts.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	stats, err := c.Run(context.Background(), spec, campaign.NewSink(&buf), done)
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	if stats.Skipped != 10 {
+		t.Fatalf("Skipped = %d, want 10", stats.Skipped)
+	}
+	if stripWall(buf.Bytes()) != stripWall(want.Bytes()) {
+		t.Fatalf("resumed distributed artifact differs from local resumed run")
+	}
+}
+
+// TestWorkerKilledMidCampaign is the fleet-failure scenario: three workers,
+// one dies while holding a lease. The coordinator must requeue its shard,
+// reassign it to a surviving worker, and still produce the single-machine
+// artifact.
+func TestWorkerKilledMidCampaign(t *testing.T) {
+	spec := campaign.QuickSpec()
+	want := localRun(t, spec, nil)
+
+	var (
+		dead    atomic.Bool
+		started = make(chan struct{})
+		once    sync.Once
+		gate    = make(chan struct{})
+	)
+	victim := newWorkerServer(t, func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/v1/shard" {
+				once.Do(func() { close(started) })
+				<-gate // hold the lease until the test kills the worker
+				if dead.Load() {
+					http.Error(w, "dying", http.StatusInternalServerError)
+					return
+				}
+			}
+			next.ServeHTTP(w, r)
+		})
+	})
+	survivors := []*httptest.Server{newWorkerServer(t, nil), newWorkerServer(t, nil)}
+
+	cfg := fastConfig(victim.URL, survivors[0].URL, survivors[1].URL)
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		<-started
+		dead.Store(true)
+		close(gate)
+		victim.CloseClientConnections()
+		victim.Close()
+	}()
+
+	var buf bytes.Buffer
+	stats, err := c.Run(context.Background(), spec, campaign.NewSink(&buf), nil)
+	if err != nil {
+		t.Fatalf("run with killed worker: %v", err)
+	}
+	if stripWall(buf.Bytes()) != stripWall(want.Bytes()) {
+		t.Fatalf("artifact after worker death differs from local run\ngot:\n%s\nwant:\n%s", buf.String(), want.String())
+	}
+	if stats.Retries == 0 {
+		t.Fatalf("stats.Retries = 0, want at least one requeue; stats = %+v", stats)
+	}
+	if stats.Reassignments == 0 {
+		t.Fatalf("stats.Reassignments = 0, want the dead worker's shard on a survivor; stats = %+v", stats)
+	}
+	if n := stats.WorkerShards[victim.URL]; n != 0 {
+		t.Fatalf("dead worker completed %d shards, want 0", n)
+	}
+
+	// The Prometheus page must report the recovery.
+	rec := httptest.NewRecorder()
+	c.Metrics().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	for _, metric := range []string{
+		"oracleherd_retries_total",
+		"oracleherd_reassignments_total",
+		"oracleherd_hedges_total",
+		"oracleherd_dedup_dropped_records_total",
+		"oracleherd_worker_up",
+		"oracleherd_breaker_open",
+		"oracleherd_worker_shards_total",
+		"oracleherd_shard_duration_seconds_bucket",
+	} {
+		if !strings.Contains(body, metric) {
+			t.Fatalf("metrics page missing %s:\n%s", metric, body)
+		}
+	}
+	for _, counter := range []string{"oracleherd_retries_total", "oracleherd_reassignments_total"} {
+		if v := scrapeValue(t, body, counter); v < 1 {
+			t.Fatalf("%s = %g, want >= 1", counter, v)
+		}
+	}
+}
+
+// scrapeValue pulls a single un-labelled sample out of a Prometheus text
+// page.
+func scrapeValue(t *testing.T, body, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			if err != nil {
+				t.Fatalf("parsing %s sample %q: %v", name, line, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %s not found in:\n%s", name, body)
+	return 0
+}
+
+func TestRetriesShedWorker(t *testing.T) {
+	spec := campaign.QuickSpec()
+	want := localRun(t, spec, nil)
+
+	// The worker sheds its first two shard requests the way oracled does
+	// under backpressure: 503 plus Retry-After.
+	var calls atomic.Int64
+	ts := newWorkerServer(t, func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/v1/shard" && calls.Add(1) <= 2 {
+				w.Header().Set("Retry-After", "0")
+				http.Error(w, "queue full", http.StatusServiceUnavailable)
+				return
+			}
+			next.ServeHTTP(w, r)
+		})
+	})
+	cfg := fastConfig(ts.URL)
+	cfg.BreakerThreshold = 5 // stay below the breaker so plain retry drives recovery
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	stats, err := c.Run(context.Background(), spec, campaign.NewSink(&buf), nil)
+	if err != nil {
+		t.Fatalf("run against shedding worker: %v", err)
+	}
+	if stats.Retries != 2 {
+		t.Fatalf("stats.Retries = %d, want 2", stats.Retries)
+	}
+	if stripWall(buf.Bytes()) != stripWall(want.Bytes()) {
+		t.Fatalf("artifact after shed retries differs from local run")
+	}
+}
+
+func TestRetryAfterOverridesBackoff(t *testing.T) {
+	cfg := fastConfig("http://unused").withDefaults()
+	w := newWorker("http://unused", &cfg, newMetrics(), newLockedRand(1))
+	w.fail(&dispatchError{status: 503, retryAfter: time.Hour, err: fmt.Errorf("shed")})
+	wait, ok := w.gate()
+	if ok {
+		t.Fatal("gate open immediately after a Retry-After: 3600 failure")
+	}
+	// Jitter maps the hint to [30m, 60m); anything over the plain backoff
+	// ceiling proves the hint won.
+	if wait < 25*time.Minute {
+		t.Fatalf("gate wait = %v, want Retry-After-scale delay", wait)
+	}
+	w.ok()
+	if _, ok := w.gate(); !ok {
+		t.Fatal("gate still closed after success reset")
+	}
+}
+
+func TestBreakerOpensAndRecovers(t *testing.T) {
+	cfg := fastConfig("http://unused")
+	cfg.BreakerCooldown = 20 * time.Millisecond
+	cfg.BackoffBase = time.Millisecond
+	cfg.BackoffMax = 2 * time.Millisecond
+	cfg = cfg.withDefaults()
+	w := newWorker("http://unused", &cfg, newMetrics(), newLockedRand(1))
+
+	for i := 0; i < cfg.BreakerThreshold; i++ {
+		w.fail(fmt.Errorf("boom"))
+	}
+	if !w.breakerOpen() {
+		t.Fatal("breaker closed after threshold consecutive failures")
+	}
+	time.Sleep(cfg.BreakerCooldown + 5*time.Millisecond)
+	if w.breakerOpen() {
+		t.Fatal("breaker still open after cooldown")
+	}
+	// Half-open admits exactly one trial until it resolves.
+	if _, ok := w.gate(); !ok {
+		t.Fatal("half-open breaker refused the trial dispatch")
+	}
+	if _, ok := w.gate(); ok {
+		t.Fatal("half-open breaker admitted a second concurrent trial")
+	}
+	w.ok()
+	if _, ok := w.gate(); !ok {
+		t.Fatal("breaker not closed by a successful trial")
+	}
+}
+
+// TestHedgedStraggler forces a slow first lease so the idle second worker
+// hedges it; the run must finish fast with the winner's records.
+func TestHedgedStraggler(t *testing.T) {
+	spec := campaign.QuickSpec()
+	want := localRun(t, spec, nil)
+
+	var calls atomic.Int64
+	slow := newWorkerServer(t, func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/v1/shard" && calls.Add(1) == 1 {
+				select { // straggle, but honor cancellation
+				case <-time.After(10 * time.Second):
+				case <-r.Context().Done():
+					return
+				}
+			}
+			next.ServeHTTP(w, r)
+		})
+	})
+	fast := newWorkerServer(t, nil)
+
+	cfg := fastConfig(slow.URL, fast.URL)
+	cfg.ShardSize = 16 // two shards: one straggles, one runs normally
+	cfg.HedgeAfter = 30 * time.Millisecond
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	start := time.Now()
+	stats, err := c.Run(context.Background(), spec, campaign.NewSink(&buf), nil)
+	if err != nil {
+		t.Fatalf("hedged run: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("hedged run took %v; the straggler's lease was waited out", elapsed)
+	}
+	if stats.Hedges == 0 {
+		t.Fatalf("stats.Hedges = 0, want the straggling shard re-dispatched; stats = %+v", stats)
+	}
+	if stripWall(buf.Bytes()) != stripWall(want.Bytes()) {
+		t.Fatalf("hedged artifact differs from local run")
+	}
+}
+
+// TestHedgeFirstResultWins drives the lease ledger directly: both the hedge
+// winner and the original holder deliver the shard, and the sink keeps only
+// the first result.
+func TestHedgeFirstResultWins(t *testing.T) {
+	var buf bytes.Buffer
+	sink := campaign.NewSink(&buf)
+	st := newRunState(sink, newMetrics(), 8)
+	st.add(campaign.Shard{Index: 0, Start: 0, End: 1})
+	wA := &worker{url: "http://a"}
+	wB := &worker{url: "http://b"}
+
+	s, hedge := st.acquire(wA, -1)
+	if s == nil || hedge {
+		t.Fatalf("acquire(wA) = (%v, %v), want fresh lease", s, hedge)
+	}
+	hs, hedge := st.acquire(wB, 0)
+	if hs != s || !hedge {
+		t.Fatalf("acquire(wB) = (%v, %v), want hedge of the in-flight shard", hs, hedge)
+	}
+	if again, _ := st.acquire(wA, 0); again != nil {
+		t.Fatalf("holder re-acquired its own shard as a hedge")
+	}
+
+	winner := []campaign.Record{{Kind: "task", Unit: "u", Scheme: "winner"}}
+	loser := []campaign.Record{{Kind: "task", Unit: "u", Scheme: "loser"}}
+	if err := st.complete(s, wB, [][]campaign.Record{winner}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.complete(s, wA, [][]campaign.Record{loser}); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Deduped() != 1 || sink.Written() != 1 {
+		t.Fatalf("sink deduped %d written %d, want 1 and 1", sink.Deduped(), sink.Written())
+	}
+	if wB.completions.Load() != 1 || wA.completions.Load() != 0 {
+		t.Fatalf("completions = (A=%d, B=%d), want the hedge winner credited", wA.completions.Load(), wB.completions.Load())
+	}
+	if !strings.Contains(buf.String(), `"winner"`) || strings.Contains(buf.String(), `"loser"`) {
+		t.Fatalf("sink kept the wrong result: %s", buf.String())
+	}
+	if !st.finished() {
+		t.Fatal("run not finished after its only shard completed")
+	}
+}
+
+func TestProbeRejectsCatalogSkew(t *testing.T) {
+	skewed := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]any{
+			"status":              "ok",
+			"catalog_fingerprint": "deadbeefdeadbeef",
+		})
+	}))
+	defer skewed.Close()
+
+	c, err := New(fastConfig(skewed.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Probe(context.Background()); err == nil || !strings.Contains(err.Error(), "fingerprint") {
+		t.Fatalf("Probe = %v, want catalog fingerprint mismatch", err)
+	}
+
+	cfg := fastConfig(skewed.URL)
+	cfg.AllowSkew = true
+	c, err = New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Probe(context.Background()); err != nil {
+		t.Fatalf("Probe with AllowSkew: %v", err)
+	}
+}
+
+func TestProbeRequiresOneWorkerUp(t *testing.T) {
+	ts := httptest.NewServer(http.NotFoundHandler())
+	url := ts.URL
+	ts.Close()
+
+	cfg := fastConfig(url)
+	cfg.ProbeTimeout = 500 * time.Millisecond
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Probe(context.Background()); err == nil || !strings.Contains(err.Error(), "no worker") {
+		t.Fatalf("Probe = %v, want no-worker error", err)
+	}
+}
+
+func TestRunFailsAfterMaxAttempts(t *testing.T) {
+	broken := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			json.NewEncoder(w).Encode(map[string]any{"status": "ok"})
+			return
+		}
+		http.Error(w, "broken", http.StatusInternalServerError)
+	}))
+	defer broken.Close()
+
+	cfg := fastConfig(broken.URL)
+	cfg.MaxAttempts = 2
+	cfg.BreakerThreshold = 10 // let plain retries exhaust the budget
+	cfg.AllowSkew = true      // the stub reports no fingerprint
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	_, err = c.Run(context.Background(), campaign.QuickSpec(), campaign.NewSink(&buf), nil)
+	if err == nil || !strings.Contains(err.Error(), "failed 2 times") {
+		t.Fatalf("Run = %v, want attempt-budget failure", err)
+	}
+}
+
+func TestNewRejectsBadFleets(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New accepted an empty fleet")
+	}
+	if _, err := New(Config{Workers: []string{"http://a", "http://a"}}); err == nil {
+		t.Fatal("New accepted duplicate worker URLs")
+	}
+}

@@ -1,0 +1,164 @@
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// shardBuckets are the latency histogram bounds for shard dispatches, in
+// seconds — shards batch many units, so they run longer than single
+// requests.
+var shardBuckets = []float64{
+	0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120,
+}
+
+// workerMetrics accumulates one worker's dispatch outcomes and latency
+// histogram. Guarded by metrics.mu.
+type workerMetrics struct {
+	ok      int64
+	failed  int64
+	buckets []int64
+	sum     float64
+	count   int64
+}
+
+// metrics is the coordinator's registry: lock-free counters bumped on the
+// dispatch path plus a mutex-guarded per-worker table the renderer reads.
+type metrics struct {
+	retries       atomic.Int64
+	hedges        atomic.Int64
+	reassignments atomic.Int64
+
+	mu       sync.Mutex
+	byWorker map[string]*workerMetrics
+}
+
+func newMetrics() *metrics {
+	return &metrics{byWorker: make(map[string]*workerMetrics)}
+}
+
+// observeShard records one finished dispatch against the worker's
+// histogram.
+func (m *metrics) observeShard(worker string, ok bool, d time.Duration) {
+	secs := d.Seconds()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	wm := m.byWorker[worker]
+	if wm == nil {
+		wm = &workerMetrics{buckets: make([]int64, len(shardBuckets))}
+		m.byWorker[worker] = wm
+	}
+	if ok {
+		wm.ok++
+	} else {
+		wm.failed++
+	}
+	wm.sum += secs
+	wm.count++
+	for i, ub := range shardBuckets {
+		if secs <= ub {
+			wm.buckets[i]++
+			break
+		}
+	}
+}
+
+// handleMetrics renders the Prometheus text format, same hand-rolled
+// stdlib-only style as oracled's /metrics.
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	m := c.m
+
+	var pending, inflight, done, total, deduped int
+	c.mu.Lock()
+	if st := c.cur; st != nil {
+		pending, inflight, done, total = st.counts()
+		deduped = st.sink.Deduped()
+	}
+	c.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP oracleherd_shards_total Shards in the active run's work list.\n")
+	fmt.Fprintf(w, "# TYPE oracleherd_shards_total gauge\n")
+	fmt.Fprintf(w, "oracleherd_shards_total %d\n", total)
+	fmt.Fprintf(w, "# HELP oracleherd_shards_done Shards merged so far in the active run.\n")
+	fmt.Fprintf(w, "# TYPE oracleherd_shards_done gauge\n")
+	fmt.Fprintf(w, "oracleherd_shards_done %d\n", done)
+	fmt.Fprintf(w, "# HELP oracleherd_shards_inflight Shards currently leased to workers.\n")
+	fmt.Fprintf(w, "# TYPE oracleherd_shards_inflight gauge\n")
+	fmt.Fprintf(w, "oracleherd_shards_inflight %d\n", inflight)
+	fmt.Fprintf(w, "# HELP oracleherd_shards_pending Shards waiting for a lease.\n")
+	fmt.Fprintf(w, "# TYPE oracleherd_shards_pending gauge\n")
+	fmt.Fprintf(w, "oracleherd_shards_pending %d\n", pending)
+	fmt.Fprintf(w, "# HELP oracleherd_retries_total Failed shard dispatches that were requeued.\n")
+	fmt.Fprintf(w, "# TYPE oracleherd_retries_total counter\n")
+	fmt.Fprintf(w, "oracleherd_retries_total %d\n", m.retries.Load())
+	fmt.Fprintf(w, "# HELP oracleherd_hedges_total Speculative re-dispatches of straggling shards.\n")
+	fmt.Fprintf(w, "# TYPE oracleherd_hedges_total counter\n")
+	fmt.Fprintf(w, "oracleherd_hedges_total %d\n", m.hedges.Load())
+	fmt.Fprintf(w, "# HELP oracleherd_reassignments_total Requeued shards whose next lease went to a different worker.\n")
+	fmt.Fprintf(w, "# TYPE oracleherd_reassignments_total counter\n")
+	fmt.Fprintf(w, "oracleherd_reassignments_total %d\n", m.reassignments.Load())
+	fmt.Fprintf(w, "# HELP oracleherd_dedup_dropped_records_total Records dropped by the idempotent merge (hedge losers, resumed units).\n")
+	fmt.Fprintf(w, "# TYPE oracleherd_dedup_dropped_records_total counter\n")
+	fmt.Fprintf(w, "oracleherd_dedup_dropped_records_total %d\n", deduped)
+
+	fmt.Fprintf(w, "# HELP oracleherd_worker_up Latest health-probe outcome per worker.\n")
+	fmt.Fprintf(w, "# TYPE oracleherd_worker_up gauge\n")
+	for _, wk := range c.workers {
+		up := 0
+		if wk.health().up {
+			up = 1
+		}
+		fmt.Fprintf(w, "oracleherd_worker_up{worker=%q} %d\n", wk.url, up)
+	}
+	fmt.Fprintf(w, "# HELP oracleherd_breaker_open Whether the worker's circuit breaker currently refuses dispatches.\n")
+	fmt.Fprintf(w, "# TYPE oracleherd_breaker_open gauge\n")
+	for _, wk := range c.workers {
+		open := 0
+		if wk.breakerOpen() {
+			open = 1
+		}
+		fmt.Fprintf(w, "oracleherd_breaker_open{worker=%q} %d\n", wk.url, open)
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.byWorker))
+	for name := range m.byWorker {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	fmt.Fprintf(w, "# HELP oracleherd_worker_shards_total Finished shard dispatches by worker and outcome.\n")
+	fmt.Fprintf(w, "# TYPE oracleherd_worker_shards_total counter\n")
+	for _, name := range names {
+		wm := m.byWorker[name]
+		fmt.Fprintf(w, "oracleherd_worker_shards_total{worker=%q,outcome=\"ok\"} %d\n", name, wm.ok)
+		fmt.Fprintf(w, "oracleherd_worker_shards_total{worker=%q,outcome=\"error\"} %d\n", name, wm.failed)
+	}
+
+	fmt.Fprintf(w, "# HELP oracleherd_shard_duration_seconds Shard dispatch latency by worker.\n")
+	fmt.Fprintf(w, "# TYPE oracleherd_shard_duration_seconds histogram\n")
+	for _, name := range names {
+		wm := m.byWorker[name]
+		var cum int64
+		for i, ub := range shardBuckets {
+			cum += wm.buckets[i]
+			fmt.Fprintf(w, "oracleherd_shard_duration_seconds_bucket{worker=%q,le=%q} %d\n",
+				name, formatFloat(ub), cum)
+		}
+		fmt.Fprintf(w, "oracleherd_shard_duration_seconds_bucket{worker=%q,le=\"+Inf\"} %d\n", name, wm.count)
+		fmt.Fprintf(w, "oracleherd_shard_duration_seconds_sum{worker=%q} %s\n", name, formatFloat(wm.sum))
+		fmt.Fprintf(w, "oracleherd_shard_duration_seconds_count{worker=%q} %d\n", name, wm.count)
+	}
+}
+
+// formatFloat renders a float the Prometheus way.
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}

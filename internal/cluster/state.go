@@ -1,0 +1,239 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"oraclesize/internal/campaign"
+)
+
+// shardState tracks one shard through the lease lifecycle. Guarded by
+// runState.mu.
+type shardState struct {
+	sh campaign.Shard
+	// done flips when the first successful dispatch merges; later results
+	// for the shard dedup away in the sink.
+	done bool
+	// inflight counts dispatches currently running (2 while hedged).
+	inflight int
+	// hedged marks that a speculative second dispatch was issued in this
+	// lease generation; it resets if the shard is requeued.
+	hedged bool
+	// failures counts failed dispatches over the shard's lifetime, charged
+	// against Config.MaxAttempts.
+	failures int
+	// holders are the workers currently running the shard, so a hedge
+	// never lands on the worker already holding it.
+	holders map[*worker]bool
+	// lastFailed remembers the worker behind the most recent failure, to
+	// classify the next dispatch as a reassignment.
+	lastFailed *worker
+	// firstStart is when the current lease generation began — the clock
+	// straggler detection compares against.
+	firstStart time.Time
+}
+
+// runState is the shared ledger of one Run: the pending queue, the
+// in-flight set, and completion accounting. Slot goroutines contend on mu
+// briefly per dispatch; the metrics renderer reads the same counters.
+type runState struct {
+	sink *campaign.Sink
+	m    *metrics
+
+	maxAttempts int
+
+	mu        sync.Mutex
+	pending   []*shardState
+	inflight  map[*shardState]bool
+	total     int
+	doneCount int
+	fatal     error
+
+	// wake nudges one sleeping slot when work appears; sleepers also poll
+	// on a short timer, so a lost wakeup costs latency, not liveness.
+	wake chan struct{}
+	// doneCh closes when the run finishes or fails, so Run can cancel
+	// still-running dispatches (hedge losers, doomed retries) immediately
+	// instead of waiting out their leases.
+	doneCh     chan struct{}
+	doneClosed bool
+}
+
+func newRunState(sink *campaign.Sink, m *metrics, maxAttempts int) *runState {
+	return &runState{
+		sink:        sink,
+		m:           m,
+		maxAttempts: maxAttempts,
+		inflight:    make(map[*shardState]bool),
+		wake:        make(chan struct{}, 1),
+		doneCh:      make(chan struct{}),
+	}
+}
+
+// closeDoneLocked closes doneCh once. Callers hold st.mu.
+func (st *runState) closeDoneLocked() {
+	if !st.doneClosed {
+		st.doneClosed = true
+		close(st.doneCh)
+	}
+}
+
+func (st *runState) add(sh campaign.Shard) {
+	st.pending = append(st.pending, &shardState{sh: sh, holders: make(map[*worker]bool)})
+	st.total++
+}
+
+// acquire hands w its next dispatch: the oldest pending shard, or — when
+// the queue is drained — a straggler to hedge. It returns nil when nothing
+// is runnable for w right now.
+func (st *runState) acquire(w *worker, hedgeAfter time.Duration) (s *shardState, hedge bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if len(st.pending) > 0 {
+		s = st.pending[0]
+		st.pending = st.pending[1:]
+		if s.lastFailed != nil && s.lastFailed != w {
+			st.m.reassignments.Add(1)
+		}
+		s.firstStart = time.Now()
+		s.inflight++
+		s.holders[w] = true
+		st.inflight[s] = true
+		return s, false
+	}
+	if hedgeAfter < 0 {
+		return nil, false
+	}
+	now := time.Now()
+	for cand := range st.inflight {
+		if cand.done || cand.hedged || cand.holders[w] || now.Sub(cand.firstStart) < hedgeAfter {
+			continue
+		}
+		cand.hedged = true
+		cand.inflight++
+		cand.holders[w] = true
+		return cand, true
+	}
+	return nil, false
+}
+
+// release records a failed dispatch. The shard is requeued once no sibling
+// dispatch is still running and the shard has not completed meanwhile; a
+// shard out of attempts fails the whole run. It reports whether the shard
+// went back on the queue.
+func (st *runState) release(s *shardState, w *worker, err error) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s.inflight--
+	delete(s.holders, w)
+	s.lastFailed = w
+	s.failures++
+	if s.inflight == 0 {
+		delete(st.inflight, s)
+	}
+	if s.done || s.inflight > 0 {
+		// A hedge sibling already delivered the shard or is still trying;
+		// nothing to requeue.
+		return false
+	}
+	if s.failures >= st.maxAttempts {
+		st.fatal = fmt.Errorf("cluster: %v failed %d times, last error: %w", s.sh, s.failures, err)
+		st.closeDoneLocked()
+		st.wakeLocked()
+		return false
+	}
+	s.hedged = false
+	st.pending = append(st.pending, s)
+	st.wakeLocked()
+	return true
+}
+
+// complete merges a successful dispatch. Every result is deposited — the
+// sink's idempotent merge keeps the first and counts the rest as dedup
+// drops — but only the first completion advances the done count and the
+// worker's tally.
+func (st *runState) complete(s *shardState, w *worker, batches [][]campaign.Record) error {
+	st.mu.Lock()
+	s.inflight--
+	delete(s.holders, w)
+	if s.inflight == 0 {
+		delete(st.inflight, s)
+	}
+	first := !s.done
+	s.done = true
+	if first {
+		st.doneCount++
+		w.completions.Add(1)
+	}
+	if st.doneCount == st.total {
+		st.closeDoneLocked()
+	}
+	st.mu.Unlock()
+
+	for off, recs := range batches {
+		if err := st.sink.Deposit(s.sh.Start+off, recs); err != nil {
+			return err
+		}
+	}
+	st.wakeAll()
+	return nil
+}
+
+func (st *runState) fail(err error) {
+	st.mu.Lock()
+	if st.fatal == nil {
+		st.fatal = err
+	}
+	st.closeDoneLocked()
+	st.wakeLocked()
+	st.mu.Unlock()
+}
+
+func (st *runState) err() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.fatal
+}
+
+func (st *runState) finished() bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.fatal != nil || st.doneCount == st.total
+}
+
+// counts snapshots (pending, inflight, done, total) for the metrics page.
+func (st *runState) counts() (pending, inflight, done, total int) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.pending), len(st.inflight), st.doneCount, st.total
+}
+
+func (st *runState) wakeLocked() {
+	select {
+	case st.wake <- struct{}{}:
+	default:
+	}
+}
+
+func (st *runState) wakeAll() {
+	st.mu.Lock()
+	st.wakeLocked()
+	st.mu.Unlock()
+}
+
+// sleep parks a slot until a wakeup, the timer, or cancellation — whichever
+// comes first.
+func (st *runState) sleep(ctx context.Context, d time.Duration) {
+	if d <= 0 {
+		d = time.Millisecond
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-st.wake:
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}

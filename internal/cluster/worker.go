@@ -1,0 +1,271 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"oraclesize/internal/campaign"
+)
+
+// shardRequest and shardResponse mirror the oracled /v1/shard JSON wire
+// shapes; the JSON field names are the contract, not the Go types.
+type shardRequest struct {
+	Spec  *campaign.Spec `json:"spec"`
+	Start int            `json:"start"`
+	End   int            `json:"end"`
+}
+
+type shardResponse struct {
+	SpecHash string              `json:"spec_hash"`
+	Units    [][]campaign.Record `json:"units"`
+}
+
+// workerBuild is the slice of the /healthz payload the coordinator logs.
+type workerBuild struct {
+	GoVersion     string `json:"go_version"`
+	ModuleVersion string `json:"module_version"`
+	Revision      string `json:"vcs_revision"`
+}
+
+type workerHealthz struct {
+	Status             string      `json:"status"`
+	Build              workerBuild `json:"build"`
+	CatalogFingerprint string      `json:"catalog_fingerprint"`
+}
+
+// dispatchError is a failed shard dispatch, carrying the worker's
+// Retry-After hint when it shed load.
+type dispatchError struct {
+	status     int // 0 for transport-level failures
+	retryAfter time.Duration
+	err        error
+}
+
+func (e *dispatchError) Error() string { return e.err.Error() }
+func (e *dispatchError) Unwrap() error { return e.err }
+
+// worker is one fleet member: its HTTP client plus the failure bookkeeping
+// — backoff gate and circuit breaker — that decides when it may be handed
+// work.
+type worker struct {
+	url string
+	cfg *Config
+	m   *metrics
+	rng *lockedRand
+
+	// completions counts shards this worker delivered first.
+	completions atomic.Int64
+
+	mu sync.Mutex
+	// up / probeErr / build / fingerprint reflect the latest health probe.
+	up          bool
+	probeErr    error
+	build       workerBuild
+	fingerprint string
+	// consecFails drives both backoff growth and the breaker; notBefore is
+	// the earliest next dispatch (backoff or Retry-After); openUntil is the
+	// breaker cooldown deadline; trialInFlight limits the half-open state
+	// to a single probe dispatch.
+	consecFails   int
+	notBefore     time.Time
+	openUntil     time.Time
+	trialInFlight bool
+}
+
+func newWorker(url string, cfg *Config, m *metrics, rng *lockedRand) *worker {
+	return &worker{url: url, cfg: cfg, m: m, rng: rng}
+}
+
+// gate reports whether the worker may be handed a dispatch now; when not,
+// it returns how long to wait before asking again.
+func (w *worker) gate() (wait time.Duration, ok bool) {
+	now := time.Now()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if now.Before(w.notBefore) {
+		return w.notBefore.Sub(now), false
+	}
+	if w.consecFails >= w.cfg.BreakerThreshold {
+		if now.Before(w.openUntil) {
+			return w.openUntil.Sub(now), false
+		}
+		if w.trialInFlight {
+			// Half-open: exactly one trial dispatch at a time.
+			return w.cfg.BreakerCooldown / 4, false
+		}
+		w.trialInFlight = true
+	}
+	return 0, true
+}
+
+// fail charges one dispatch failure: exponential backoff with jitter
+// (overridden upward by a Retry-After hint), and breaker opening at the
+// threshold — including re-opening when a half-open trial fails.
+func (w *worker) fail(err error) {
+	now := time.Now()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.trialInFlight = false
+	w.consecFails++
+	shift := w.consecFails - 1
+	if shift > 16 {
+		shift = 16
+	}
+	backoff := w.cfg.BackoffBase << shift
+	if backoff > w.cfg.BackoffMax || backoff <= 0 {
+		backoff = w.cfg.BackoffMax
+	}
+	var de *dispatchError
+	if errors.As(err, &de) && de.retryAfter > backoff {
+		backoff = de.retryAfter
+	}
+	w.notBefore = now.Add(w.rng.jitter(backoff))
+	if w.consecFails >= w.cfg.BreakerThreshold {
+		w.openUntil = now.Add(w.cfg.BreakerCooldown)
+	}
+}
+
+// ok resets the failure state after a successful dispatch, closing the
+// breaker if it was half-open.
+func (w *worker) ok() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.up = true
+	w.consecFails = 0
+	w.trialInFlight = false
+	w.notBefore = time.Time{}
+	w.openUntil = time.Time{}
+}
+
+// breakerOpen reports whether the breaker currently refuses dispatches.
+func (w *worker) breakerOpen() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.consecFails >= w.cfg.BreakerThreshold && time.Now().Before(w.openUntil)
+}
+
+// healthSnapshot is the probe outcome Probe logs.
+type healthSnapshot struct {
+	up          bool
+	err         error
+	build       workerBuild
+	fingerprint string
+}
+
+func (w *worker) health() healthSnapshot {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return healthSnapshot{up: w.up, err: w.probeErr, build: w.build, fingerprint: w.fingerprint}
+}
+
+// probe GETs /healthz and records the outcome. An unreachable worker
+// starts with its breaker open, so dispatch skips it until a half-open
+// trial readmits it.
+func (w *worker) probe(ctx context.Context) {
+	ctx, cancel := context.WithTimeout(ctx, w.cfg.ProbeTimeout)
+	defer cancel()
+	var h workerHealthz
+	err := w.getJSON(ctx, w.url+"/healthz", &h)
+	now := time.Now()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err != nil {
+		w.up = false
+		w.probeErr = err
+		if w.consecFails < w.cfg.BreakerThreshold {
+			w.consecFails = w.cfg.BreakerThreshold
+		}
+		w.openUntil = now.Add(w.cfg.BreakerCooldown)
+		return
+	}
+	w.up = true
+	w.probeErr = nil
+	w.build = h.Build
+	w.fingerprint = h.CatalogFingerprint
+}
+
+func (w *worker) getJSON(ctx context.Context, url string, dst any) error {
+	req, err := http.NewRequestWithContext(ctx, "GET", url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := w.cfg.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: GET %s: status %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(dst)
+}
+
+// dispatch POSTs one shard and returns its per-unit record batches. All
+// failures come back as *dispatchError so the retry path can read the
+// status and Retry-After hint.
+func (w *worker) dispatch(ctx context.Context, spec *campaign.Spec, sh campaign.Shard) ([][]campaign.Record, error) {
+	body, err := json.Marshal(shardRequest{Spec: spec, Start: sh.Start, End: sh.End})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: encoding %v: %w", sh, err)
+	}
+	req, err := http.NewRequestWithContext(ctx, "POST", w.url+"/v1/shard", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: building request for %v: %w", sh, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.cfg.Client.Do(req)
+	if err != nil {
+		return nil, &dispatchError{err: fmt.Errorf("cluster: %v on %s: %w", sh, w.url, err)}
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, &dispatchError{
+			status:     resp.StatusCode,
+			retryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+			err: fmt.Errorf("cluster: %v on %s: status %d: %s",
+				sh, w.url, resp.StatusCode, bytes.TrimSpace(msg)),
+		}
+	}
+	var sr shardResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		return nil, &dispatchError{err: fmt.Errorf("cluster: decoding %v from %s: %w", sh, w.url, err)}
+	}
+	if len(sr.Units) != sh.Len() {
+		return nil, &dispatchError{err: fmt.Errorf("cluster: %v on %s: %d unit batches, want %d",
+			sh, w.url, len(sr.Units), sh.Len())}
+	}
+	if want := spec.Hash(); sr.SpecHash != want {
+		return nil, &dispatchError{err: fmt.Errorf("cluster: %v on %s: spec hash %s, want %s",
+			sh, w.url, sr.SpecHash, want)}
+	}
+	return sr.Units, nil
+}
+
+// parseRetryAfter reads a seconds-valued Retry-After header; HTTP-date
+// values (rare from oracled) read as zero, falling back to backoff.
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}

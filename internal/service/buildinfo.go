@@ -1,0 +1,48 @@
+package service
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildInfo identifies the running worker build. A cluster coordinator logs
+// it per worker — "which build served this shard" is the first question
+// asked when a distributed run stops reproducing — and it travels in the
+// /healthz payload so no extra endpoint or auth is needed to read it.
+type BuildInfo struct {
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+	// ModuleVersion is the main module's version ("(devel)" for builds
+	// outside a released module).
+	ModuleVersion string `json:"module_version"`
+	// Revision is the VCS commit the binary was built from, when stamped.
+	Revision string `json:"vcs_revision,omitempty"`
+	// Dirty marks builds from a modified working tree.
+	Dirty bool `json:"vcs_dirty,omitempty"`
+}
+
+// buildInfo is read once; the answer cannot change while the process runs.
+var buildInfo = readBuildInfo()
+
+func readBuildInfo() BuildInfo {
+	b := BuildInfo{GoVersion: runtime.Version(), ModuleVersion: "(devel)"}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b
+	}
+	if info.Main.Version != "" {
+		b.ModuleVersion = info.Main.Version
+	}
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			b.Revision = s.Value
+		case "vcs.modified":
+			b.Dirty = s.Value == "true"
+		}
+	}
+	return b
+}
+
+// Build returns the server binary's build identification.
+func Build() BuildInfo { return buildInfo }

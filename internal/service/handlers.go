@@ -20,6 +20,7 @@ func (s *Server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("POST /v1/advice", s.instrument("/v1/advice", s.handleAdvice))
 	mux.Handle("POST /v1/run", s.instrument("/v1/run", s.handleRun))
+	mux.Handle("POST /v1/shard", s.instrument("/v1/shard", s.handleShard))
 	mux.Handle("POST /v1/campaign", s.instrument("/v1/campaign", s.handleCampaignSubmit))
 	mux.Handle("GET /v1/campaign/{id}", s.instrument("/v1/campaign/{id}", s.handleCampaignGet))
 	mux.Handle("GET /healthz", s.instrument("/healthz", s.handleHealthz))
@@ -403,15 +404,23 @@ type healthResponse struct {
 	Executing        int64  `json:"executing"`
 	Inflight         int64  `json:"inflight"`
 	CampaignsRunning int64  `json:"campaigns_running"`
+	// Build identifies the worker binary and CatalogFingerprint the name
+	// registry it resolves specs against; a cluster coordinator reads both
+	// to log which build served each shard and to refuse fleets whose
+	// catalogs disagree.
+	Build              BuildInfo `json:"build"`
+	CatalogFingerprint string    `json:"catalog_fingerprint"`
 }
 
 func (s *Server) handleHealthz(http.ResponseWriter, *http.Request) (any, error) {
 	return &healthResponse{
-		Status:           "ok",
-		QueueDepth:       s.metrics.queued.Load(),
-		QueueCapacity:    s.cfg.QueueDepth,
-		Executing:        s.metrics.executing.Load(),
-		Inflight:         s.metrics.inflight.Load(),
-		CampaignsRunning: s.campaigns.running(),
+		Status:             "ok",
+		QueueDepth:         s.metrics.queued.Load(),
+		QueueCapacity:      s.cfg.QueueDepth,
+		Executing:          s.metrics.executing.Load(),
+		Inflight:           s.metrics.inflight.Load(),
+		CampaignsRunning:   s.campaigns.running(),
+		Build:              buildInfo,
+		CatalogFingerprint: catalog.Fingerprint(),
 	}, nil
 }

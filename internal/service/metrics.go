@@ -32,11 +32,12 @@ type endpointMetrics struct {
 // hot path plus a mutex-guarded per-endpoint request table read only by
 // the /metrics renderer.
 type metrics struct {
-	queued    atomic.Int64 // jobs admitted and not yet picked up
-	dropped   atomic.Int64 // jobs discarded because their deadline lapsed in queue
-	executing atomic.Int64 // jobs currently running on a worker
-	inflight  atomic.Int64 // HTTP requests currently being served
-	shed      atomic.Int64 // requests answered 503 for backpressure
+	queued     atomic.Int64 // jobs admitted and not yet picked up
+	dropped    atomic.Int64 // jobs discarded because their deadline lapsed in queue
+	executing  atomic.Int64 // jobs currently running on a worker
+	inflight   atomic.Int64 // HTTP requests currently being served
+	shed       atomic.Int64 // requests answered 503 for backpressure
+	shardUnits atomic.Int64 // campaign units executed via POST /v1/shard
 
 	mu        sync.Mutex
 	endpoints map[string]*endpointMetrics
@@ -98,6 +99,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "# HELP oracled_dropped_jobs_total Queued jobs discarded because their deadline lapsed before execution.\n")
 	fmt.Fprintf(w, "# TYPE oracled_dropped_jobs_total counter\n")
 	fmt.Fprintf(w, "oracled_dropped_jobs_total %d\n", m.dropped.Load())
+	fmt.Fprintf(w, "# HELP oracled_shard_units_total Campaign units executed through POST /v1/shard.\n")
+	fmt.Fprintf(w, "# TYPE oracled_shard_units_total counter\n")
+	fmt.Fprintf(w, "oracled_shard_units_total %d\n", m.shardUnits.Load())
 
 	ps := sim.ReadPoolStats()
 	fmt.Fprintf(w, "# HELP oracled_engine_pool_runs_total Simulations served through the pooled engine (process-wide).\n")

@@ -66,6 +66,9 @@ type Config struct {
 	// MaxCampaignUnits caps a submitted campaign's compiled unit count
 	// (default 65536).
 	MaxCampaignUnits int
+	// MaxShardUnits caps the unit count of one POST /v1/shard request
+	// (default 1024), bounding how long a batch holds a queue worker.
+	MaxShardUnits int
 	// CampaignHistory bounds how many finished campaign statuses stay
 	// pollable (default 32). Older finished runs are evicted — their IDs
 	// answer 404 — so periodic submissions cannot grow the status map
@@ -110,6 +113,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxCampaignUnits <= 0 {
 		c.MaxCampaignUnits = 1 << 16
 	}
+	if c.MaxShardUnits <= 0 {
+		c.MaxShardUnits = 1 << 10
+	}
 	if c.CampaignHistory <= 0 {
 		c.CampaignHistory = 32
 	}
@@ -126,6 +132,7 @@ type Server struct {
 	mux       *http.ServeMux
 	metrics   *metrics
 	cache     *campaign.Cache
+	units     unitsCache
 	campaigns *campaignManager
 
 	queueMu sync.RWMutex

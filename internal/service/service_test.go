@@ -7,10 +7,14 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"regexp"
 	"strings"
 	"sync"
 	"testing"
 	"time"
+
+	"oraclesize/internal/campaign"
+	"oraclesize/internal/catalog"
 )
 
 // newTestServer builds a server with test-friendly bounds and registers
@@ -526,5 +530,93 @@ func TestConfigDefaults(t *testing.T) {
 	}
 	if c.Workers <= 0 {
 		t.Errorf("Workers = %d", c.Workers)
+	}
+}
+
+// TestShardEndpointMatchesLocalRun is the worker half of the distributed
+// determinism contract: executing a spec through POST /v1/shard requests
+// and merging the batches yields the same bytes (modulo wall_ns) as one
+// local campaign.Run of the spec.
+func TestShardEndpointMatchesLocalRun(t *testing.T) {
+	s := newTestServer(t, Config{})
+	spec := campaign.QuickSpec()
+	units := spec.Units()
+
+	var local bytes.Buffer
+	if _, err := campaign.Run(spec, campaign.NewSink(&local), campaign.RunOptions{Workers: 2}); err != nil {
+		t.Fatalf("local run: %v", err)
+	}
+
+	var merged bytes.Buffer
+	sink := campaign.NewSink(&merged)
+	for _, sh := range campaign.Shards(len(units), 7) {
+		w := postJSON(t, s.Handler(), "/v1/shard", map[string]any{
+			"spec": spec, "start": sh.Start, "end": sh.End,
+		})
+		if w.Code != http.StatusOK {
+			t.Fatalf("shard %v: status %d: %s", sh, w.Code, w.Body.String())
+		}
+		resp := decode[shardResponse](t, w)
+		if resp.SpecHash != spec.Hash() || len(resp.Units) != sh.Len() {
+			t.Fatalf("shard %v: hash %q, %d batches", sh, resp.SpecHash, len(resp.Units))
+		}
+		for off, recs := range resp.Units {
+			if err := sink.Deposit(sh.Start+off, recs); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	strip := regexp.MustCompile(`"wall_ns":\d+`)
+	a := strip.ReplaceAllString(local.String(), `"wall_ns":0`)
+	b := strip.ReplaceAllString(merged.String(), `"wall_ns":0`)
+	if a != b {
+		t.Error("shard-merged JSONL differs from local campaign run")
+	}
+
+	if text := getPath(t, s.Handler(), "/metrics").Body.String(); !strings.Contains(text, fmt.Sprintf("oracled_shard_units_total %d", len(units))) {
+		t.Error("metrics missing shard unit count")
+	}
+}
+
+func TestShardValidation(t *testing.T) {
+	s := newTestServer(t, Config{MaxShardUnits: 4, MaxNodes: 64})
+	spec := campaign.QuickSpec()
+	total := int(spec.UnitCount())
+	cases := []struct {
+		name string
+		body map[string]any
+		want int
+	}{
+		{"invalid spec", map[string]any{"spec": map[string]any{"trials": 0}, "start": 0, "end": 1}, http.StatusBadRequest},
+		{"negative start", map[string]any{"spec": spec, "start": -1, "end": 1}, http.StatusBadRequest},
+		{"empty range", map[string]any{"spec": spec, "start": 2, "end": 2}, http.StatusBadRequest},
+		{"end past total", map[string]any{"spec": spec, "start": 0, "end": total + 1}, http.StatusBadRequest},
+		{"over shard cap", map[string]any{"spec": spec, "start": 0, "end": 5}, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		if w := postJSON(t, s.Handler(), "/v1/shard", c.body); w.Code != c.want {
+			t.Errorf("%s: status %d, want %d: %s", c.name, w.Code, c.want, w.Body.String())
+		}
+	}
+
+	big := campaign.QuickSpec()
+	big.Sizes = []int{4096}
+	if w := postJSON(t, s.Handler(), "/v1/shard", map[string]any{"spec": big, "start": 0, "end": 2}); w.Code != http.StatusBadRequest {
+		t.Errorf("oversized n: status %d, want 400: %s", w.Code, w.Body.String())
+	}
+}
+
+func TestHealthzReportsBuildAndCatalog(t *testing.T) {
+	s := newTestServer(t, Config{})
+	h := decode[healthResponse](t, getPath(t, s.Handler(), "/healthz"))
+	if h.Build.GoVersion == "" || h.Build.ModuleVersion == "" {
+		t.Errorf("healthz build info incomplete: %+v", h.Build)
+	}
+	if h.CatalogFingerprint != catalog.Fingerprint() {
+		t.Errorf("healthz fingerprint %q != catalog %q", h.CatalogFingerprint, catalog.Fingerprint())
+	}
+	if len(h.CatalogFingerprint) != 16 {
+		t.Errorf("fingerprint %q not 16 hex chars", h.CatalogFingerprint)
 	}
 }
