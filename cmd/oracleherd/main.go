@@ -6,8 +6,15 @@
 //
 //	oracleherd -workers http://a:8080,http://b:8080 (-quick | -spec spec.json)
 //	           -out results.jsonl [-resume] [-seed S]
-//	           [-shard-size 32] [-slots 2] [-lease 2m] [-hedge-after 30s]
+//	           [-shard-size 0] [-shard-min 4] [-shard-max 512] [-shard-target 2s]
+//	           [-slots 2] [-lease 2m] [-hedge-after 30s]
 //	           [-retries 8] [-allow-skew] [-metrics :9090]
+//
+// Shard sizes adapt by default: the coordinator tracks an EWMA of each
+// worker's per-unit service time and carves leases aiming at -shard-target
+// of work, clamped to [-shard-min, -shard-max] and shrunk near the
+// campaign tail so no worker holds a long lease while others idle. Pass
+// -shard-size N to pin the old fixed sizing instead.
 //
 // The fleet may be unreliable: failed dispatches retry with backoff
 // honoring Retry-After, repeatedly failing workers are circuit-broken,
@@ -41,19 +48,22 @@ func run(args []string, out, errOut io.Writer) int {
 	fs := flag.NewFlagSet("oracleherd", flag.ContinueOnError)
 	fs.SetOutput(errOut)
 	var (
-		workers    = fs.String("workers", "", "comma-separated oracled base URLs (required)")
-		specPath   = fs.String("spec", "", "campaign spec file (JSON)")
-		quick      = fs.Bool("quick", false, "use the built-in quick smoke spec")
-		outPath    = fs.String("out", "", "merged results JSONL file (required)")
-		resume     = fs.Bool("resume", false, "resume -out: dispatch only the units it is missing")
-		seed       = fs.Int64("seed", 0, "override the spec seed")
-		shardSize  = fs.Int("shard-size", 32, "consecutive units per shard")
-		slots      = fs.Int("slots", 2, "shards leased to one worker at a time")
-		lease      = fs.Duration("lease", 2*time.Minute, "per-shard lease; an expired lease is reassigned")
-		hedgeAfter = fs.Duration("hedge-after", 30*time.Second, "re-dispatch a shard in flight this long (negative disables)")
-		retries    = fs.Int("retries", 8, "per-shard dispatch attempts before the run fails")
-		allowSkew  = fs.Bool("allow-skew", false, "accept workers whose catalog fingerprint differs")
-		metrics    = fs.String("metrics", "", "serve coordinator Prometheus metrics on this address")
+		workers     = fs.String("workers", "", "comma-separated oracled base URLs (required)")
+		specPath    = fs.String("spec", "", "campaign spec file (JSON)")
+		quick       = fs.Bool("quick", false, "use the built-in quick smoke spec")
+		outPath     = fs.String("out", "", "merged results JSONL file (required)")
+		resume      = fs.Bool("resume", false, "resume -out: dispatch only the units it is missing")
+		seed        = fs.Int64("seed", 0, "override the spec seed")
+		shardSize   = fs.Int("shard-size", 0, "fixed units per shard; 0 sizes shards adaptively from worker latency")
+		shardMin    = fs.Int("shard-min", 4, "adaptive sizing: smallest shard carved (also the first probe lease)")
+		shardMax    = fs.Int("shard-max", 512, "adaptive sizing: largest shard carved")
+		shardTarget = fs.Duration("shard-target", 2*time.Second, "adaptive sizing: wall-clock of work to aim at per lease")
+		slots       = fs.Int("slots", 2, "shards leased to one worker at a time")
+		lease       = fs.Duration("lease", 2*time.Minute, "per-shard lease; an expired lease is reassigned")
+		hedgeAfter  = fs.Duration("hedge-after", 30*time.Second, "re-dispatch a shard in flight this long (negative disables)")
+		retries     = fs.Int("retries", 8, "per-shard dispatch attempts before the run fails")
+		allowSkew   = fs.Bool("allow-skew", false, "accept workers whose catalog fingerprint differs")
+		metrics     = fs.String("metrics", "", "serve coordinator Prometheus metrics on this address")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -132,13 +142,16 @@ func run(args []string, out, errOut io.Writer) int {
 	}
 
 	coord, err := cluster.New(cluster.Config{
-		Workers:      urls,
-		ShardSize:    *shardSize,
-		Slots:        *slots,
-		LeaseTimeout: *lease,
-		HedgeAfter:   *hedgeAfter,
-		MaxAttempts:  *retries,
-		AllowSkew:    *allowSkew,
+		Workers:             urls,
+		ShardSize:           *shardSize,
+		MinShardSize:        *shardMin,
+		MaxShardSize:        *shardMax,
+		TargetShardDuration: *shardTarget,
+		Slots:               *slots,
+		LeaseTimeout:        *lease,
+		HedgeAfter:          *hedgeAfter,
+		MaxAttempts:         *retries,
+		AllowSkew:           *allowSkew,
 		Logf: func(format string, a ...any) {
 			fmt.Fprintf(errOut, format+"\n", a...)
 		},
@@ -171,8 +184,9 @@ func run(args []string, out, errOut io.Writer) int {
 		fmt.Fprintln(errOut, err)
 		return 1
 	}
-	fmt.Fprintf(errOut, "oracleherd %s %s: %d units in %d shards (%d resumed), %d records, %d retries, %d hedges, %d reassignments, %d dedup drops, wall %v\n",
-		spec.Name, spec.Hash(), stats.Units, stats.Shards, stats.Skipped, stats.Records,
+	fmt.Fprintf(errOut, "oracleherd %s %s: %d units in %d shards (%d resumed), sizes %d/%d/%d min/med/max, %d records, %d retries, %d hedges, %d reassignments, %d dedup drops, wall %v\n",
+		spec.Name, spec.Hash(), stats.Units, stats.Shards, stats.Skipped,
+		stats.ShardSizeMin, stats.ShardSizeMedian, stats.ShardSizeMax, stats.Records,
 		stats.Retries, stats.Hedges, stats.Reassignments, stats.DedupDropped,
 		time.Since(start).Round(time.Millisecond))
 	names := make([]string, 0, len(stats.WorkerShards))

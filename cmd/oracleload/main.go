@@ -8,12 +8,20 @@
 //	           [-family random] [-n 256] [-seeds 8] [-label current]
 //	           [-o BENCH_serve.json]
 //	oracleload -shard [-shard-units 8] [-scheme flooding] [...same flags]
+//	oracleload -shard -shard-target 50ms [-shard-min 1] [-shard-max 64]
 //
 // With no -url, oracleload spins up an in-process oracled (no network) and
 // drives it through its handler — the mode CI's smoke job uses. -shard
 // switches the request stream from single-simulation /v1/run calls to the
 // batch /v1/shard endpoint oracleherd drives, so the serve trajectory
 // tracks both paths.
+//
+// With -shard-target, each client sizes its shard requests the way the
+// oracleherd coordinator does: an EWMA of observed per-unit latency picks
+// the unit count whose service time lands near the target, clamped to
+// [-shard-min, -shard-max]. The entry then records the chosen sizes'
+// min/median/max, so the serve trajectory shows what the controller
+// actually asked for.
 package main
 
 import (
@@ -48,24 +56,30 @@ type Entry struct {
 	GOOS   string `json:"goos"`
 	GOARCH string `json:"goarch"`
 	// Mode distinguishes the request stream: "" or "run" is /v1/run,
-	// "shard" is /v1/shard with ShardUnits units per request.
-	Mode        string  `json:"mode,omitempty"`
-	ShardUnits  int     `json:"shard_units,omitempty"`
-	Task        string  `json:"task"`
-	Family      string  `json:"family"`
-	Nodes       int     `json:"nodes"`
-	Seeds       int     `json:"seeds"`
-	Clients     int     `json:"clients"`
-	DurationSec float64 `json:"duration_sec"`
-	Requests    int64   `json:"requests"`
-	Errors      int64   `json:"errors"`
-	Shed        int64   `json:"shed"`
-	Throughput  float64 `json:"requests_per_sec"`
-	P50NS       int64   `json:"p50_ns"`
-	P90NS       int64   `json:"p90_ns"`
-	P99NS       int64   `json:"p99_ns"`
-	MaxNS       int64   `json:"max_ns"`
-	MeanNS      int64   `json:"mean_ns"`
+	// "shard" is /v1/shard with ShardUnits units per request. Under
+	// adaptive sizing (-shard-target) ShardUnits is 0 and the chosen
+	// per-request sizes are summarized by ShardUnitsMin/Median/Max.
+	Mode             string  `json:"mode,omitempty"`
+	ShardUnits       int     `json:"shard_units,omitempty"`
+	ShardTargetSec   float64 `json:"shard_target_sec,omitempty"`
+	ShardUnitsMin    int     `json:"shard_units_min,omitempty"`
+	ShardUnitsMedian int     `json:"shard_units_median,omitempty"`
+	ShardUnitsMax    int     `json:"shard_units_max,omitempty"`
+	Task             string  `json:"task"`
+	Family           string  `json:"family"`
+	Nodes            int     `json:"nodes"`
+	Seeds            int     `json:"seeds"`
+	Clients          int     `json:"clients"`
+	DurationSec      float64 `json:"duration_sec"`
+	Requests         int64   `json:"requests"`
+	Errors           int64   `json:"errors"`
+	Shed             int64   `json:"shed"`
+	Throughput       float64 `json:"requests_per_sec"`
+	P50NS            int64   `json:"p50_ns"`
+	P90NS            int64   `json:"p90_ns"`
+	P99NS            int64   `json:"p99_ns"`
+	MaxNS            int64   `json:"max_ns"`
+	MeanNS           int64   `json:"mean_ns"`
 }
 
 const schema = "oraclesize/serve/v1"
@@ -78,18 +92,21 @@ func run(args []string, out, errOut io.Writer) int {
 	fs := flag.NewFlagSet("oracleload", flag.ContinueOnError)
 	fs.SetOutput(errOut)
 	var (
-		baseURL    = fs.String("url", "", "oracled base URL (empty: drive an in-process server)")
-		clients    = fs.Int("c", 8, "concurrent closed-loop clients")
-		dur        = fs.Duration("d", 5*time.Second, "load duration")
-		task       = fs.String("task", "broadcast", "task for /v1/run requests")
-		family     = fs.String("family", "random-sparse", "graph family")
-		n          = fs.Int("n", 256, "graph size")
-		seeds      = fs.Int("seeds", 8, "distinct instance seeds to rotate through")
-		label      = fs.String("label", "current", "label for this entry")
-		outPath    = fs.String("o", "BENCH_serve.json", "serve trajectory file to append to")
-		shard      = fs.Bool("shard", false, "drive POST /v1/shard batches instead of /v1/run")
-		shardUnits = fs.Int("shard-units", 8, "units per shard request (with -shard)")
-		scheme     = fs.String("scheme", "flooding", "scheme for shard-mode specs")
+		baseURL     = fs.String("url", "", "oracled base URL (empty: drive an in-process server)")
+		clients     = fs.Int("c", 8, "concurrent closed-loop clients")
+		dur         = fs.Duration("d", 5*time.Second, "load duration")
+		task        = fs.String("task", "broadcast", "task for /v1/run requests")
+		family      = fs.String("family", "random-sparse", "graph family")
+		n           = fs.Int("n", 256, "graph size")
+		seeds       = fs.Int("seeds", 8, "distinct instance seeds to rotate through")
+		label       = fs.String("label", "current", "label for this entry")
+		outPath     = fs.String("o", "BENCH_serve.json", "serve trajectory file to append to")
+		shard       = fs.Bool("shard", false, "drive POST /v1/shard batches instead of /v1/run")
+		shardUnits  = fs.Int("shard-units", 8, "units per shard request (with -shard)")
+		shardTarget = fs.Duration("shard-target", 0, "size shard requests adaptively toward this service time (with -shard; 0 keeps -shard-units fixed)")
+		shardMin    = fs.Int("shard-min", 1, "adaptive sizing floor (with -shard-target)")
+		shardMax    = fs.Int("shard-max", 64, "adaptive sizing ceiling (with -shard-target)")
+		scheme      = fs.String("scheme", "flooding", "scheme for shard-mode specs")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -100,6 +117,11 @@ func run(args []string, out, errOut io.Writer) int {
 	}
 	if *shard && *shardUnits < 1 {
 		fmt.Fprintln(errOut, "oracleload: -shard-units must be >= 1")
+		return 2
+	}
+	adaptive := *shard && *shardTarget > 0
+	if adaptive && (*shardMin < 1 || *shardMax < *shardMin) {
+		fmt.Fprintln(errOut, "oracleload: need 1 <= -shard-min <= -shard-max")
 		return 2
 	}
 
@@ -116,20 +138,28 @@ func run(args []string, out, errOut io.Writer) int {
 
 	// Build the rotating request bodies: /v1/run varies the instance seed,
 	// /v1/shard varies the spec seed so each body compiles distinct units.
+	// Adaptive shard mode keeps the specs instead and marshals per request,
+	// since the unit count changes as the client's size estimate moves.
 	endpoint := url + "/v1/run"
 	bodies := make([][]byte, *seeds)
+	var specs []*campaign.Spec
+	type shardReq struct {
+		Spec  *campaign.Spec `json:"spec"`
+		Start int            `json:"start"`
+		End   int            `json:"end"`
+	}
 	if *shard {
 		endpoint = url + "/v1/shard"
-		type shardReq struct {
-			Spec  *campaign.Spec `json:"spec"`
-			Start int            `json:"start"`
-			End   int            `json:"end"`
+		ceiling := *shardUnits
+		if adaptive {
+			ceiling = *shardMax
 		}
-		for i := range bodies {
+		specs = make([]*campaign.Spec, *seeds)
+		for i := range specs {
 			spec := &campaign.Spec{
 				Name:     "oracleload-shard",
 				Seed:     int64(i + 1),
-				Trials:   *shardUnits,
+				Trials:   ceiling,
 				Families: []string{*family},
 				Sizes:    []int{*n},
 				Tasks:    []campaign.TaskSpec{{Task: *task, Schemes: []string{*scheme}}},
@@ -139,7 +169,11 @@ func run(args []string, out, errOut io.Writer) int {
 				fmt.Fprintln(errOut, err)
 				return 1
 			}
-			b, err := json.Marshal(shardReq{Spec: spec, Start: 0, End: *shardUnits})
+			specs[i] = spec
+			// Fixed mode reuses this body for every request; adaptive mode
+			// only warms up with it, covering the whole unit range so the
+			// measured window starts with a hot instance cache.
+			b, err := json.Marshal(shardReq{Spec: spec, Start: 0, End: ceiling})
 			if err != nil {
 				fmt.Fprintln(errOut, err)
 				return 1
@@ -184,6 +218,7 @@ func run(args []string, out, errOut io.Writer) int {
 		shed     atomic.Int64
 		latMu    sync.Mutex
 		lats     []time.Duration
+		sizes    []int
 	)
 	deadline := time.Now().Add(*dur)
 	var wg sync.WaitGroup
@@ -193,8 +228,24 @@ func run(args []string, out, errOut io.Writer) int {
 		go func() {
 			defer wg.Done()
 			local := make([]time.Duration, 0, 4096)
+			var localSizes []int
+			// Per-client latency EWMA, same controller shape as oracleherd:
+			// first request probes at the floor, then each response steers
+			// the next size toward the target service time.
+			const alpha = 0.4
+			ewma := 0.0 // seconds per unit; 0 = no sample yet
+			size := *shardMin
 			for i := 0; time.Now().Before(deadline); i++ {
 				body := bodies[(c+i)%len(bodies)]
+				if adaptive {
+					var err error
+					body, err = json.Marshal(shardReq{Spec: specs[(c+i)%len(specs)], Start: 0, End: size})
+					if err != nil {
+						errs.Add(1)
+						continue
+					}
+					localSizes = append(localSizes, size)
+				}
 				start := time.Now()
 				resp, err := httpClient.Post(endpoint, "application/json", bytes.NewReader(body))
 				elapsed := time.Since(start)
@@ -208,6 +259,21 @@ func run(args []string, out, errOut io.Writer) int {
 				switch {
 				case resp.StatusCode == http.StatusOK:
 					local = append(local, elapsed)
+					if adaptive {
+						per := elapsed.Seconds() / float64(size)
+						if ewma == 0 {
+							ewma = per
+						} else {
+							ewma = alpha*per + (1-alpha)*ewma
+						}
+						size = int(shardTarget.Seconds() / ewma)
+						if size < *shardMin {
+							size = *shardMin
+						}
+						if size > *shardMax {
+							size = *shardMax
+						}
+					}
 				case resp.StatusCode == http.StatusServiceUnavailable:
 					shed.Add(1)
 				default:
@@ -216,6 +282,7 @@ func run(args []string, out, errOut io.Writer) int {
 			}
 			latMu.Lock()
 			lats = append(lats, local...)
+			sizes = append(sizes, localSizes...)
 			latMu.Unlock()
 		}()
 	}
@@ -239,7 +306,9 @@ func run(args []string, out, errOut io.Writer) int {
 	units := 0
 	if *shard {
 		mode = "shard"
-		units = *shardUnits
+		if !adaptive {
+			units = *shardUnits
+		}
 	}
 	entry := Entry{
 		Label:       *label,
@@ -263,6 +332,15 @@ func run(args []string, out, errOut io.Writer) int {
 		P99NS:       pct(0.99),
 		MaxNS:       lats[len(lats)-1].Nanoseconds(),
 		MeanNS:      (sum / time.Duration(len(lats))).Nanoseconds(),
+	}
+	if adaptive && len(sizes) > 0 {
+		sort.Ints(sizes)
+		entry.ShardTargetSec = shardTarget.Seconds()
+		entry.ShardUnitsMin = sizes[0]
+		entry.ShardUnitsMedian = sizes[len(sizes)/2]
+		entry.ShardUnitsMax = sizes[len(sizes)-1]
+		fmt.Fprintf(out, "adaptive shard sizes: min %d  median %d  max %d (target %s)\n",
+			entry.ShardUnitsMin, entry.ShardUnitsMedian, entry.ShardUnitsMax, *shardTarget)
 	}
 
 	fmt.Fprintf(out, "%s: %d req in %s (%0.0f req/s ok), %d shed, %d errors\n",

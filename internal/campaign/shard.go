@@ -43,6 +43,35 @@ func Shards(total, size int) []Shard {
 	return shards
 }
 
+// ShardSeq partitions total units into consecutive shards whose sizes
+// follow sizes in order — the shape a dynamic sizing controller produces,
+// where every lease may be a different length. Entries < 1 read as 1; once
+// sizes is exhausted the last entry repeats (an empty sizes reads as all
+// ones). Like Shards, the result covers [0, total) exactly, each unit in
+// exactly one shard, shards indexed in order.
+func ShardSeq(total int, sizes []int) []Shard {
+	if total <= 0 {
+		return nil
+	}
+	var shards []Shard
+	size := 1
+	for start, i := 0, 0; start < total; i++ {
+		if i < len(sizes) {
+			size = sizes[i]
+		}
+		if size < 1 {
+			size = 1
+		}
+		end := start + size
+		if end > total {
+			end = total
+		}
+		shards = append(shards, Shard{Index: len(shards), Start: start, End: end})
+		start = end
+	}
+	return shards
+}
+
 // RunShard executes the shard's units sequentially and returns one record
 // batch per unit, in unit order. The caller supplies the compiled unit list
 // (compile once, run many shards) and optionally a shared instance cache;

@@ -1,0 +1,36 @@
+package cluster
+
+import "time"
+
+// Clock abstracts wall time for the coordinator so tests and the fleetsim
+// package can run the scheduling core on virtual time. Every time read on
+// the dispatch path — lease ages for straggler detection, backoff and
+// breaker deadlines, latency observations — goes through the Clock, which
+// is what makes controller decisions assertable without sleeping.
+// Implementations must be safe for concurrent use.
+type Clock interface {
+	// Now is the current instant.
+	Now() time.Time
+	// NewTimer returns a timer that fires once after d.
+	NewTimer(d time.Duration) Timer
+}
+
+// Timer is the Clock-issued counterpart of time.Timer.
+type Timer interface {
+	// C delivers the firing instant, once.
+	C() <-chan time.Time
+	// Stop releases the timer; it reports whether the timer was stopped
+	// before firing.
+	Stop() bool
+}
+
+// realClock is the production Clock: plain time package.
+type realClock struct{}
+
+func (realClock) Now() time.Time                 { return time.Now() }
+func (realClock) NewTimer(d time.Duration) Timer { return realTimer{time.NewTimer(d)} }
+
+type realTimer struct{ t *time.Timer }
+
+func (t realTimer) C() <-chan time.Time { return t.t.C }
+func (t realTimer) Stop() bool          { return t.t.Stop() }

@@ -1,11 +1,19 @@
 // Package cluster implements oracleherd's coordinator: it compiles a
-// campaign.Spec into deterministic unit shards, leases them to a fleet of
-// oracled workers over the HTTP/JSON API (POST /v1/shard), and merges the
-// per-shard results into the same resumable JSONL artifact format the
-// local engine writes. Because shard boundaries, unit seeds and record
-// contents are all pure functions of (spec, seed), a distributed run is
-// byte-identical — after canonical unit ordering, modulo wall-time fields —
-// to a single-machine campaign.Run of the same spec.
+// campaign.Spec into deterministic units, leases contiguous unit shards to
+// a fleet of oracled workers over the HTTP/JSON API (POST /v1/shard), and
+// merges the per-shard results into the same resumable JSONL artifact
+// format the local engine writes. Because unit seeds and record contents
+// are pure functions of (spec, seed) and the sink flushes strictly in unit
+// index order, a distributed run is byte-identical — after canonical unit
+// ordering, modulo wall-time fields — to a single-machine campaign.Run of
+// the same spec, no matter how the coordinator carves, retries, hedges or
+// reassigns shards.
+//
+// Shard sizes are adaptive by default: the coordinator keeps an EWMA of
+// each worker's per-unit service time and sizes every lease so one shard
+// takes about TargetShardDuration on that worker, shrinking toward a floor
+// near the campaign tail so a slow worker never holds the makespan hostage
+// with one oversized final shard. ShardSize > 0 pins the old fixed sizing.
 //
 // The coordinator is built for an unreliable fleet:
 //
@@ -19,8 +27,12 @@
 //     re-dispatched to a different idle worker, the first result wins, and
 //     the loser's records are dropped by the idempotent sink
 //   - /metrics (see Coordinator.Metrics) exposes shards in flight,
-//     retries, hedges, reassignments, dedup drops and per-worker latency
-//     histograms in Prometheus text format
+//     retries, hedges, reassignments, dedup drops, chosen shard sizes and
+//     per-worker latency histograms in Prometheus text format
+//
+// The scheduling state machine behind all of this is exported as Core, and
+// every time read goes through an injectable Clock, so the fleetsim
+// package can drive the identical decision logic on virtual time.
 package cluster
 
 import (
@@ -41,8 +53,21 @@ type Config struct {
 	// Workers lists the oracled base URLs (e.g. "http://10.0.0.7:8080").
 	// At least one worker must pass the initial health probe.
 	Workers []string
-	// ShardSize is the number of consecutive units per shard (default 32).
+	// ShardSize, when > 0, pins fixed sizing: every shard holds this many
+	// consecutive units. 0 (the default) selects adaptive sizing driven by
+	// MinShardSize, MaxShardSize and TargetShardDuration.
 	ShardSize int
+	// MinShardSize is the adaptive floor (default 4): the first lease to a
+	// worker with no latency history, and the smallest shard the tail
+	// guard shrinks to.
+	MinShardSize int
+	// MaxShardSize is the adaptive ceiling (default 512 — stay under
+	// oracled's default -max-shard-units of 1024).
+	MaxShardSize int
+	// TargetShardDuration is the per-shard service time adaptive sizing
+	// aims for (default 2s): long enough to amortize dispatch overhead,
+	// short enough that a lease expiry, retry or hedge is cheap.
+	TargetShardDuration time.Duration
 	// Slots is the number of shards leased to one worker at a time
 	// (default 2): enough to keep a worker's queue fed without parking
 	// most of the campaign on whichever worker answers first.
@@ -82,13 +107,29 @@ type Config struct {
 	// client with no global timeout; per-dispatch contexts bound every
 	// call).
 	Client *http.Client
+	// Clock abstracts time for backoff, breakers, hedging and latency
+	// observation (default: the real time package). Tests and fleetsim
+	// substitute virtual clocks; production code never sets it.
+	Clock Clock
 	// Logf, when set, receives coordinator progress lines.
 	Logf func(format string, args ...any)
 }
 
 func (c Config) withDefaults() Config {
-	if c.ShardSize <= 0 {
-		c.ShardSize = 32
+	if c.ShardSize < 0 {
+		c.ShardSize = 0
+	}
+	if c.MinShardSize <= 0 {
+		c.MinShardSize = 4
+	}
+	if c.MaxShardSize <= 0 {
+		c.MaxShardSize = 512
+	}
+	if c.MaxShardSize < c.MinShardSize {
+		c.MaxShardSize = c.MinShardSize
+	}
+	if c.TargetShardDuration <= 0 {
+		c.TargetShardDuration = 2 * time.Second
 	}
 	if c.Slots <= 0 {
 		c.Slots = 2
@@ -123,6 +164,9 @@ func (c Config) withDefaults() Config {
 	if c.Client == nil {
 		c.Client = &http.Client{}
 	}
+	if c.Clock == nil {
+		c.Clock = realClock{}
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
@@ -131,11 +175,20 @@ func (c Config) withDefaults() Config {
 
 // Stats summarizes one distributed run.
 type Stats struct {
-	// Units and Shards describe the compiled work list; Skipped counts
-	// units satisfied by the resume set before dispatch.
+	// Units describes the compiled work list; Skipped counts units
+	// satisfied by the resume set before dispatch. Shards is the number of
+	// shards actually carved and dispatched — under adaptive sizing it is
+	// not known in advance.
 	Units   int
 	Shards  int
 	Skipped int
+	// ShardSizeMin, ShardSizeMedian and ShardSizeMax summarize the carved
+	// shard sizes: under fixed sizing all three equal ShardSize (the final
+	// short shard aside); under adaptive sizing they show the controller's
+	// spread.
+	ShardSizeMin    int
+	ShardSizeMedian int
+	ShardSizeMax    int
 	// Records is the number of JSONL records the sink wrote.
 	Records int
 	// Retries counts failed dispatches that were requeued, Hedges
@@ -167,18 +220,12 @@ type Coordinator struct {
 // network traffic happens until Probe or Run.
 func New(cfg Config) (*Coordinator, error) {
 	cfg = cfg.withDefaults()
-	if len(cfg.Workers) == 0 {
-		return nil, fmt.Errorf("cluster: no workers configured")
-	}
-	seen := make(map[string]bool, len(cfg.Workers))
 	c := &Coordinator{cfg: cfg, m: newMetrics(), rng: newLockedRand(cfg.Seed)}
-	for _, url := range cfg.Workers {
-		if url == "" || seen[url] {
-			return nil, fmt.Errorf("cluster: empty or duplicate worker URL %q", url)
-		}
-		seen[url] = true
-		c.workers = append(c.workers, newWorker(url, &c.cfg, c.m, c.rng))
+	workers, err := buildWorkers(&c.cfg, c.m, c.rng)
+	if err != nil {
+		return nil, err
 	}
+	c.workers = workers
 	return c, nil
 }
 
@@ -225,9 +272,9 @@ func (c *Coordinator) Probe(ctx context.Context) error {
 // Run executes the spec across the fleet, streaming merged records into
 // the sink in unit-index order. done marks unit keys already present in a
 // resumed artifact; those units are skipped (nil-deposited) exactly like a
-// local resume, and shards made entirely of done units are never
-// dispatched. Run returns when every unit has merged, the context is
-// cancelled, or a shard exhausts its attempt budget.
+// local resume and never dispatched. Run returns when every unit has
+// merged, the context is cancelled, or a shard exhausts its attempt
+// budget.
 func (c *Coordinator) Run(ctx context.Context, spec *campaign.Spec, sink *campaign.Sink, done map[string]bool) (Stats, error) {
 	if err := spec.Validate(); err != nil {
 		return Stats{}, err
@@ -236,30 +283,24 @@ func (c *Coordinator) Run(ctx context.Context, spec *campaign.Spec, sink *campai
 		return Stats{}, err
 	}
 	units := spec.Units()
-	shards := campaign.Shards(len(units), c.cfg.ShardSize)
-
-	skipped := 0
+	doneIdx := make([]bool, len(units))
 	for i, u := range units {
 		if done[u.Key()] {
-			skipped++
+			doneIdx[i] = true
 			if err := sink.Deposit(i, nil); err != nil {
 				return Stats{}, err
 			}
 		}
 	}
 
-	st := newRunState(sink, c.m, c.cfg.MaxAttempts)
-	for _, sh := range shards {
-		missing := false
-		for i := sh.Start; i < sh.End && !missing; i++ {
-			missing = !done[units[i].Key()]
-		}
-		if missing {
-			st.add(sh)
-		}
+	st := newRunState(&c.cfg, c.m, len(c.workers), len(units), doneIdx, sink)
+	core := &Core{cfg: c.cfg, m: c.m, st: st, workers: c.workers}
+	sizing := "adaptive"
+	if c.cfg.ShardSize > 0 {
+		sizing = fmt.Sprintf("fixed %d units/shard", c.cfg.ShardSize)
 	}
-	c.cfg.Logf("cluster: %s %s: %d units in %d shards (%d to run, %d units resumed) across %d workers",
-		spec.Name, spec.Hash(), len(units), len(shards), len(st.pending), skipped, len(c.workers))
+	c.cfg.Logf("cluster: %s %s: %d units (%d to run, %d resumed) across %d workers, %s sizing",
+		spec.Name, spec.Hash(), len(units), st.unitsLeft, st.skipped, len(c.workers), sizing)
 
 	c.mu.Lock()
 	c.cur = st
@@ -282,31 +323,18 @@ func (c *Coordinator) Run(ctx context.Context, spec *campaign.Spec, sink *campai
 		}
 	}()
 	var wg sync.WaitGroup
-	for _, w := range c.workers {
+	for i := range c.workers {
 		for s := 0; s < c.cfg.Slots; s++ {
 			wg.Add(1)
-			go func(w *worker) {
+			go func(i int) {
 				defer wg.Done()
-				c.slotLoop(runCtx, st, w, spec, units)
-			}(w)
+				c.slotLoop(runCtx, core, i, spec)
+			}(i)
 		}
 	}
 	wg.Wait()
 
-	stats := Stats{
-		Units:         len(units),
-		Shards:        len(shards),
-		Skipped:       skipped,
-		Records:       sink.Written(),
-		Retries:       c.m.retries.Load(),
-		Hedges:        c.m.hedges.Load(),
-		Reassignments: c.m.reassignments.Load(),
-		DedupDropped:  int64(sink.Deduped()),
-		WorkerShards:  make(map[string]int64, len(c.workers)),
-	}
-	for _, w := range c.workers {
-		stats.WorkerShards[w.url] = w.completions.Load()
-	}
+	stats := core.Stats()
 	if err := st.err(); err != nil {
 		return stats, err
 	}
@@ -317,50 +345,46 @@ func (c *Coordinator) Run(ctx context.Context, spec *campaign.Spec, sink *campai
 }
 
 // slotLoop is one lease slot on one worker: it acquires the next runnable
-// shard (fresh work first, then hedge candidates), dispatches it under the
-// lease deadline, and merges or requeues the outcome. The loop exits when
-// the run finishes, fails, or the context is cancelled.
-func (c *Coordinator) slotLoop(ctx context.Context, st *runState, w *worker, spec *campaign.Spec, units []campaign.Unit) {
+// shard from the core (requeued work first, then fresh carves, then hedge
+// candidates), dispatches it over HTTP under the lease deadline, and
+// reports the outcome back. The loop exits when the run finishes, fails,
+// or the context is cancelled.
+func (c *Coordinator) slotLoop(ctx context.Context, core *Core, i int, spec *campaign.Spec) {
+	st, w := core.st, core.workers[i]
 	for {
-		if st.finished() || ctx.Err() != nil {
+		if core.Finished() || ctx.Err() != nil {
 			st.wakeAll() // unblock sibling slots so the run tears down promptly
 			return
 		}
-		if wait, ok := w.gate(); !ok {
+		if wait, ok := core.Gate(i); !ok {
 			st.sleep(ctx, wait)
 			continue
 		}
-		s, hedge := st.acquire(w, c.cfg.HedgeAfter)
-		if s == nil {
+		l, ok := core.Acquire(i)
+		if !ok {
 			st.sleep(ctx, 25*time.Millisecond)
 			continue
 		}
-		if hedge {
-			c.m.hedges.Add(1)
-			c.cfg.Logf("cluster: hedging %v on %s", s.sh, w.url)
+		if l.Hedge {
+			c.cfg.Logf("cluster: hedging %v on %s", l.Shard, w.url)
 		}
 		dispatchCtx, cancel := context.WithTimeout(ctx, c.cfg.LeaseTimeout)
-		start := time.Now()
-		batches, err := w.dispatch(dispatchCtx, spec, s.sh)
+		start := c.cfg.Clock.Now()
+		batches, err := w.dispatch(dispatchCtx, spec, l.Shard)
 		cancel()
-		c.m.observeShard(w.url, err == nil, time.Since(start))
+		elapsed := c.cfg.Clock.Now().Sub(start)
 		if err != nil {
 			if ctx.Err() != nil {
 				// The run was cancelled or already finished; the failure is
 				// an artifact of teardown, not the worker's fault.
 				continue
 			}
-			w.fail(err)
-			requeued := st.release(s, w, err)
-			if requeued {
-				c.m.retries.Add(1)
-				c.cfg.Logf("cluster: %v failed on %s (attempt %d/%d): %v", s.sh, w.url, s.failures, c.cfg.MaxAttempts, err)
+			if requeued, attempts := core.Fail(l, err, elapsed); requeued {
+				c.cfg.Logf("cluster: %v failed on %s (attempt %d/%d): %v", l.Shard, w.url, attempts, c.cfg.MaxAttempts, err)
 			}
 			continue
 		}
-		w.ok()
-		if err := st.complete(s, w, batches); err != nil {
-			st.fail(err)
+		if _, err := core.Complete(l, batches, elapsed); err != nil {
 			return
 		}
 	}

@@ -52,6 +52,37 @@ func newWorkerServer(t *testing.T, wrap func(http.Handler) http.Handler) *httpte
 	return ts
 }
 
+// fakeClock is a manually advanced Clock for tests that assert backoff,
+// breaker and hedge timing without sleeping. Its timers never fire — the
+// tests that use it drive the worker state machine synchronously.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Unix(1_700_000_000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+func (c *fakeClock) NewTimer(time.Duration) Timer { return fakeTimer{} }
+
+type fakeTimer struct{}
+
+func (fakeTimer) C() <-chan time.Time { return nil } // never fires
+func (fakeTimer) Stop() bool          { return true }
+
 // fastConfig keeps retry/breaker timing test-sized.
 func fastConfig(workers ...string) Config {
 	return Config{
@@ -100,6 +131,40 @@ func TestDistributedMatchesLocal(t *testing.T) {
 	}
 	if completed != int64(wantShards) {
 		t.Fatalf("worker completions sum to %d, want %d: %v", completed, wantShards, stats.WorkerShards)
+	}
+}
+
+// TestAdaptiveDistributedMatchesLocal runs the adaptive controller over a
+// real two-worker httptest fleet: whatever sizes it picks, the merged
+// artifact must match the single-machine run and the sizes must respect
+// the configured ceiling.
+func TestAdaptiveDistributedMatchesLocal(t *testing.T) {
+	spec := campaign.QuickSpec()
+	want := localRun(t, spec, nil)
+
+	urls := []string{newWorkerServer(t, nil).URL, newWorkerServer(t, nil).URL}
+	cfg := fastConfig(urls...)
+	cfg.ShardSize = 0 // adaptive sizing
+	cfg.MinShardSize = 2
+	cfg.MaxShardSize = 16
+	cfg.TargetShardDuration = 50 * time.Millisecond
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	stats, err := c.Run(context.Background(), spec, campaign.NewSink(&buf), nil)
+	if err != nil {
+		t.Fatalf("adaptive distributed run: %v", err)
+	}
+	if stripWall(buf.Bytes()) != stripWall(want.Bytes()) {
+		t.Fatalf("adaptive artifact differs from local run\ngot:\n%s\nwant:\n%s", buf.String(), want.String())
+	}
+	if stats.Shards == 0 || stats.ShardSizeMax > 16 || stats.ShardSizeMin < 1 {
+		t.Fatalf("implausible adaptive sizing stats: %+v", stats)
+	}
+	if stats.Units != len(spec.Units()) || stats.Skipped != 0 {
+		t.Fatalf("stats = %+v, want %d units, 0 skipped", stats, len(spec.Units()))
 	}
 }
 
@@ -269,17 +334,19 @@ func TestRetriesShedWorker(t *testing.T) {
 }
 
 func TestRetryAfterOverridesBackoff(t *testing.T) {
-	cfg := fastConfig("http://unused").withDefaults()
+	cfg := fastConfig("http://unused")
+	cfg.Clock = newFakeClock()
+	cfg = cfg.withDefaults()
 	w := newWorker("http://unused", &cfg, newMetrics(), newLockedRand(1))
-	w.fail(&dispatchError{status: 503, retryAfter: time.Hour, err: fmt.Errorf("shed")})
+	w.fail(&DispatchError{Status: 503, RetryAfter: time.Hour, Err: fmt.Errorf("shed")})
 	wait, ok := w.gate()
 	if ok {
 		t.Fatal("gate open immediately after a Retry-After: 3600 failure")
 	}
 	// Jitter maps the hint to [30m, 60m); anything over the plain backoff
 	// ceiling proves the hint won.
-	if wait < 25*time.Minute {
-		t.Fatalf("gate wait = %v, want Retry-After-scale delay", wait)
+	if wait < 30*time.Minute || wait >= time.Hour {
+		t.Fatalf("gate wait = %v, want a delay in [30m, 1h)", wait)
 	}
 	w.ok()
 	if _, ok := w.gate(); !ok {
@@ -288,10 +355,12 @@ func TestRetryAfterOverridesBackoff(t *testing.T) {
 }
 
 func TestBreakerOpensAndRecovers(t *testing.T) {
+	clock := newFakeClock()
 	cfg := fastConfig("http://unused")
 	cfg.BreakerCooldown = 20 * time.Millisecond
 	cfg.BackoffBase = time.Millisecond
 	cfg.BackoffMax = 2 * time.Millisecond
+	cfg.Clock = clock
 	cfg = cfg.withDefaults()
 	w := newWorker("http://unused", &cfg, newMetrics(), newLockedRand(1))
 
@@ -301,7 +370,7 @@ func TestBreakerOpensAndRecovers(t *testing.T) {
 	if !w.breakerOpen() {
 		t.Fatal("breaker closed after threshold consecutive failures")
 	}
-	time.Sleep(cfg.BreakerCooldown + 5*time.Millisecond)
+	clock.Advance(cfg.BreakerCooldown + cfg.BackoffMax)
 	if w.breakerOpen() {
 		t.Fatal("breaker still open after cooldown")
 	}
@@ -315,6 +384,85 @@ func TestBreakerOpensAndRecovers(t *testing.T) {
 	w.ok()
 	if _, ok := w.gate(); !ok {
 		t.Fatal("breaker not closed by a successful trial")
+	}
+}
+
+// TestBreakerReopensOnFailedTrial drives the half-open path to a failed
+// trial on the fake clock: the breaker must re-open for a full cooldown.
+func TestBreakerReopensOnFailedTrial(t *testing.T) {
+	clock := newFakeClock()
+	cfg := fastConfig("http://unused")
+	cfg.BreakerCooldown = time.Minute
+	cfg.Clock = clock
+	cfg = cfg.withDefaults()
+	w := newWorker("http://unused", &cfg, newMetrics(), newLockedRand(1))
+
+	for i := 0; i < cfg.BreakerThreshold; i++ {
+		w.fail(fmt.Errorf("boom"))
+	}
+	clock.Advance(cfg.BreakerCooldown + cfg.BackoffMax)
+	if _, ok := w.gate(); !ok {
+		t.Fatal("half-open breaker refused the trial dispatch")
+	}
+	w.fail(fmt.Errorf("trial failed"))
+	if !w.breakerOpen() {
+		t.Fatal("breaker closed after a failed half-open trial")
+	}
+	wait, ok := w.gate()
+	if ok {
+		t.Fatal("gate open right after a failed half-open trial")
+	}
+	if wait <= 0 || wait > cfg.BreakerCooldown {
+		t.Fatalf("gate wait = %v, want a cooldown-scale delay", wait)
+	}
+}
+
+// TestBackoffJitterBounds is the backoff-schedule table: after k
+// consecutive failures the gate delay must land in [b/2, b) where
+// b = min(BackoffBase << (k-1), BackoffMax) — exact bounds, no sleeping,
+// thanks to the injectable clock.
+func TestBackoffJitterBounds(t *testing.T) {
+	base, max := 100*time.Millisecond, 5*time.Second
+	cases := []struct {
+		fails int
+		want  time.Duration // pre-jitter backoff
+	}{
+		{1, 100 * time.Millisecond},
+		{2, 200 * time.Millisecond},
+		{3, 400 * time.Millisecond},
+		{4, 800 * time.Millisecond},
+		{5, 1600 * time.Millisecond},
+		{6, 3200 * time.Millisecond},
+		{7, 5 * time.Second}, // 6.4s clamps to BackoffMax
+		{8, 5 * time.Second},
+		{40, 5 * time.Second}, // shift saturation must not overflow
+	}
+	for _, tc := range cases {
+		for seed := int64(1); seed <= 5; seed++ {
+			clock := newFakeClock()
+			cfg := fastConfig("http://unused")
+			cfg.BackoffBase, cfg.BackoffMax = base, max
+			cfg.BreakerThreshold = 1 << 20 // keep the breaker out of the schedule
+			cfg.Clock = clock
+			cfg = cfg.withDefaults()
+			w := newWorker("http://unused", &cfg, newMetrics(), newLockedRand(seed))
+			for i := 0; i < tc.fails; i++ {
+				w.fail(fmt.Errorf("boom"))
+			}
+			wait, ok := w.gate()
+			if ok {
+				t.Fatalf("fails=%d seed=%d: gate open immediately after failure", tc.fails, seed)
+			}
+			if wait < tc.want/2 || wait >= tc.want {
+				t.Errorf("fails=%d seed=%d: wait %v outside jitter bounds [%v, %v)",
+					tc.fails, seed, wait, tc.want/2, tc.want)
+			}
+			// The delay elapses exactly on the virtual clock.
+			clock.Advance(wait)
+			if _, ok := w.gate(); !ok {
+				t.Errorf("fails=%d seed=%d: gate still closed after advancing %v", tc.fails, seed, wait)
+			}
+		}
 	}
 }
 
@@ -369,8 +517,10 @@ func TestHedgedStraggler(t *testing.T) {
 func TestHedgeFirstResultWins(t *testing.T) {
 	var buf bytes.Buffer
 	sink := campaign.NewSink(&buf)
-	st := newRunState(sink, newMetrics(), 8)
-	st.add(campaign.Shard{Index: 0, Start: 0, End: 1})
+	cfg := fastConfig("http://a", "http://b")
+	cfg.Clock = newFakeClock()
+	cfg = cfg.withDefaults()
+	st := newRunState(&cfg, newMetrics(), 2, 1, []bool{false}, sink)
 	wA := &worker{url: "http://a"}
 	wB := &worker{url: "http://b"}
 
@@ -388,11 +538,11 @@ func TestHedgeFirstResultWins(t *testing.T) {
 
 	winner := []campaign.Record{{Kind: "task", Unit: "u", Scheme: "winner"}}
 	loser := []campaign.Record{{Kind: "task", Unit: "u", Scheme: "loser"}}
-	if err := st.complete(s, wB, [][]campaign.Record{winner}); err != nil {
-		t.Fatal(err)
+	if first, err := st.complete(s, wB, [][]campaign.Record{winner}); err != nil || !first {
+		t.Fatalf("winner complete = (%v, %v), want first delivery", first, err)
 	}
-	if err := st.complete(s, wA, [][]campaign.Record{loser}); err != nil {
-		t.Fatal(err)
+	if first, err := st.complete(s, wA, [][]campaign.Record{loser}); err != nil || first {
+		t.Fatalf("loser complete = (%v, %v), want non-first delivery", first, err)
 	}
 	if sink.Deduped() != 1 || sink.Written() != 1 {
 		t.Fatalf("sink deduped %d written %d, want 1 and 1", sink.Deduped(), sink.Written())

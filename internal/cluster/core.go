@@ -1,0 +1,192 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"oraclesize/internal/campaign"
+)
+
+// Core is the coordinator's scheduling state machine with the transport
+// stripped away: the demand-driven shard carver, the adaptive sizer, the
+// lease ledger (requeue, hedging, attempt budgets) and the per-worker
+// backoff gates and circuit breakers. Coordinator.Run drives a Core over
+// HTTP; the fleetsim package drives the very same code over simulated
+// workers on virtual time, which is what makes controller decisions and
+// makespans testable exactly.
+//
+// The protocol per worker slot is: Gate → Acquire → run the shard however
+// the caller likes → Complete or Fail. All methods are safe for concurrent
+// use.
+type Core struct {
+	cfg     Config
+	m       *metrics
+	st      *runState
+	workers []*worker
+}
+
+// Lease is one dispatch: a contiguous unit range leased to a worker.
+type Lease struct {
+	// Shard is the unit range to execute.
+	Shard campaign.Shard
+	// Hedge marks a speculative duplicate of a shard already in flight
+	// elsewhere; the first result wins.
+	Hedge bool
+
+	s *shardState
+	w *worker
+}
+
+// NewCore builds a standalone scheduling core over a simulated or
+// otherwise caller-managed fleet: cfg.Workers supplies the worker names
+// (no network traffic happens; all workers start healthy), totalUnits is
+// the compiled unit count, and done — nil, or one flag per unit — marks
+// units satisfied by a resume, which are nil-deposited into the sink
+// exactly like a local resume and never leased.
+func NewCore(cfg Config, totalUnits int, done []bool, sink *campaign.Sink) (*Core, error) {
+	cfg = cfg.withDefaults()
+	if done != nil && len(done) != totalUnits {
+		return nil, fmt.Errorf("cluster: done has %d flags for %d units", len(done), totalUnits)
+	}
+	if done == nil {
+		done = make([]bool, totalUnits)
+	}
+	m := newMetrics()
+	rng := newLockedRand(cfg.Seed)
+	workers, err := buildWorkers(&cfg, m, rng)
+	if err != nil {
+		return nil, err
+	}
+	for _, w := range workers {
+		w.markUp()
+	}
+	core := &Core{cfg: cfg, m: m, workers: workers}
+	core.st = newRunState(&core.cfg, m, len(workers), totalUnits, done, sink)
+	for i, d := range done {
+		if d {
+			if err := sink.Deposit(i, nil); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return core, nil
+}
+
+// buildWorkers validates the fleet list and constructs its members.
+func buildWorkers(cfg *Config, m *metrics, rng *lockedRand) ([]*worker, error) {
+	if len(cfg.Workers) == 0 {
+		return nil, fmt.Errorf("cluster: no workers configured")
+	}
+	seen := make(map[string]bool, len(cfg.Workers))
+	workers := make([]*worker, 0, len(cfg.Workers))
+	for _, url := range cfg.Workers {
+		if url == "" || seen[url] {
+			return nil, fmt.Errorf("cluster: empty or duplicate worker URL %q", url)
+		}
+		seen[url] = true
+		workers = append(workers, newWorker(url, cfg, m, rng))
+	}
+	return workers, nil
+}
+
+// Config returns the core's configuration with defaults resolved.
+func (c *Core) Config() Config { return c.cfg }
+
+// Workers is the fleet size; worker indexes run [0, Workers).
+func (c *Core) Workers() int { return len(c.workers) }
+
+// WorkerName returns the configured name (URL) of worker i.
+func (c *Core) WorkerName(i int) string { return c.workers[i].url }
+
+// Gate reports whether worker i may be handed a dispatch now; when not,
+// it returns how long to wait before asking again (backoff, Retry-After,
+// or breaker cooldown).
+func (c *Core) Gate(i int) (wait time.Duration, ok bool) { return c.workers[i].gate() }
+
+// Acquire leases worker i its next dispatch: a requeued shard first, then
+// a fresh carve sized by the adaptive controller, then — when both are
+// drained — a straggler to hedge. ok is false when nothing is runnable
+// for this worker right now.
+func (c *Core) Acquire(i int) (l Lease, ok bool) {
+	w := c.workers[i]
+	s, hedge := c.st.acquire(w, c.cfg.HedgeAfter)
+	if s == nil {
+		return Lease{}, false
+	}
+	return Lease{Shard: s.sh, Hedge: hedge, s: s, w: w}, true
+}
+
+// Complete merges a successful dispatch that took elapsed: the worker's
+// failure state resets, the sizer observes the service time, and the
+// records deposit through the idempotent sink. first reports whether this
+// dispatch was the one that delivered the shard (hedge losers and
+// late duplicates return false). A sink error is fatal to the run.
+func (c *Core) Complete(l Lease, batches [][]campaign.Record, elapsed time.Duration) (first bool, err error) {
+	c.m.observeShard(l.w.url, true, elapsed)
+	l.w.ok()
+	c.st.sizer.observe(l.w.url, l.Shard.Len(), elapsed)
+	first, err = c.st.complete(l.s, l.w, batches)
+	if err != nil {
+		c.st.fail(err)
+	}
+	return first, err
+}
+
+// Fail charges a failed dispatch: the worker backs off (honoring any
+// Retry-After carried by a *DispatchError) and the shard requeues unless a
+// hedge sibling still carries it — or the attempt budget is spent, which
+// fails the run. It reports whether the shard went back on the queue and
+// how many attempts it has burned.
+func (c *Core) Fail(l Lease, err error, elapsed time.Duration) (requeued bool, attempts int) {
+	c.m.observeShard(l.w.url, false, elapsed)
+	l.w.fail(err)
+	requeued, attempts = c.st.release(l.s, l.w, err)
+	if requeued {
+		c.m.retries.Add(1)
+	}
+	return requeued, attempts
+}
+
+// Finished reports whether the run is over: every unit merged, or a fatal
+// error recorded.
+func (c *Core) Finished() bool { return c.st.finished() }
+
+// Err returns the run's fatal error, if any.
+func (c *Core) Err() error { return c.st.err() }
+
+// Done returns a channel closed when the run finishes or fails.
+func (c *Core) Done() <-chan struct{} { return c.st.doneCh }
+
+// HedgeHorizon reports the earliest instant at which some in-flight shard
+// becomes hedge-eligible (false when hedging is disabled or nothing is in
+// flight). The fleetsim event loop uses it to schedule its next poll; the
+// HTTP slot loops just poll on a short timer.
+func (c *Core) HedgeHorizon() (time.Time, bool) { return c.st.hedgeHorizon(c.cfg.HedgeAfter) }
+
+// Stats snapshots the run so far.
+func (c *Core) Stats() Stats {
+	st := c.st
+	st.mu.Lock()
+	units, carved, skipped := st.units, st.carved, st.skipped
+	var sizes []int
+	if len(st.sizes) > 0 {
+		sizes = append([]int(nil), st.sizes...)
+	}
+	st.mu.Unlock()
+	s := Stats{
+		Units:         units,
+		Shards:        carved,
+		Skipped:       skipped,
+		Records:       st.sink.Written(),
+		Retries:       c.m.retries.Load(),
+		Hedges:        c.m.hedges.Load(),
+		Reassignments: c.m.reassignments.Load(),
+		DedupDropped:  int64(st.sink.Deduped()),
+		WorkerShards:  make(map[string]int64, len(c.workers)),
+	}
+	s.ShardSizeMin, s.ShardSizeMedian, s.ShardSizeMax = summarizeSizes(sizes)
+	for _, w := range c.workers {
+		s.WorkerShards[w.url] = w.completions.Load()
+	}
+	return s
+}

@@ -1,0 +1,370 @@
+// Package fleetsim is a deterministic, in-process fleet simulator for the
+// oracleherd coordinator. It drives the real scheduling core —
+// cluster.Core, the same carver, adaptive sizer, lease ledger, backoff
+// gates and circuit breakers that Coordinator.Run drives over HTTP — with
+// a single-threaded discrete-event loop on virtual time. Worker models
+// declare per-unit service time, fixed dispatch overhead, crash windows
+// and 503-storm windows; shard results are computed with the real
+// campaign.RunShard, so the merged artifact a simulation produces obeys
+// the same byte-identity contract as a production run.
+//
+// Because nothing sleeps and every scheduling input (clock, jitter RNG,
+// hedge selection, event order) is deterministic, tests can assert
+// controller decisions and makespans exactly: the same Scenario always
+// yields the same Result, down to the byte.
+package fleetsim
+
+import (
+	"bytes"
+	"container/heap"
+	"fmt"
+	"time"
+
+	"oraclesize/internal/campaign"
+	"oraclesize/internal/cluster"
+)
+
+// failLatency is how long a refused or shed dispatch takes to come back
+// in virtual time — the cost of learning a worker is unhealthy.
+const failLatency = time.Millisecond
+
+// maxEvents bounds one simulation, turning a scheduling livelock into a
+// test failure instead of a hang.
+const maxEvents = 1 << 22
+
+// Window is a half-open interval [From, To) of virtual time, measured
+// from the start of the simulation.
+type Window struct {
+	From, To time.Duration
+}
+
+func (w Window) contains(t time.Duration) bool { return t >= w.From && t < w.To }
+
+// Worker models one fleet member's service behavior.
+type Worker struct {
+	// Name identifies the worker in Config.Workers, stats and logs. Empty
+	// defaults to "sim-<index>".
+	Name string
+	// UnitTime is the service time per unit in a shard.
+	UnitTime time.Duration
+	// Overhead is the fixed per-dispatch cost added to every shard.
+	Overhead time.Duration
+	// Down lists crash windows. A dispatch started inside one fails
+	// immediately (connection refused); a worker whose window opens while
+	// a shard is in flight drops the connection at that instant, and the
+	// coordinator requeues the shard.
+	Down []Window
+	// Storm lists overload windows: dispatches started inside one are shed
+	// with a 503 carrying RetryAfter.
+	Storm []Window
+	// RetryAfter is the Retry-After hint attached to storm responses.
+	RetryAfter time.Duration
+}
+
+// Scenario is one simulation: a fleet, a campaign, and the coordinator
+// configuration under test.
+type Scenario struct {
+	// Workers is the simulated fleet; at least one is required.
+	Workers []Worker
+	// Spec is the campaign to run.
+	Spec *campaign.Spec
+	// Config configures the scheduling core. Workers and Clock are owned
+	// by the simulator and overwritten; everything else — ShardSize,
+	// MinShardSize, MaxShardSize, TargetShardDuration, Slots, LeaseTimeout,
+	// HedgeAfter, MaxAttempts, backoff and breaker settings — is honored
+	// with the usual cluster defaults.
+	Config cluster.Config
+	// Done optionally marks units (by index) as satisfied by a resume;
+	// they are nil-deposited and never dispatched. Nil runs everything.
+	Done []bool
+}
+
+// Result is what one simulation produced.
+type Result struct {
+	// Makespan is the virtual time at which the last needed unit merged.
+	Makespan time.Duration
+	// Stats is the scheduling core's run summary: shards carved, size
+	// spread, retries, hedges, reassignments, per-worker completions.
+	Stats cluster.Stats
+	// Artifact is the merged JSONL artifact the sink wrote, identical in
+	// canonical form to a local campaign.Run of the same spec. Its wall_ns
+	// fields are zeroed (host wall time means nothing on virtual time), so
+	// identical scenarios produce byte-identical artifacts.
+	Artifact []byte
+	// Events is the number of discrete events processed, a cheap
+	// fingerprint of the whole schedule for determinism checks.
+	Events int
+}
+
+// vclock is the virtual clock handed to the scheduling core. Only the
+// event loop advances it, so every Now() inside the core reads the
+// simulation's current instant.
+type vclock struct{ now time.Time }
+
+func (c *vclock) Now() time.Time { return c.now }
+
+// NewTimer returns a timer that never fires: the simulator never parks on
+// runState.sleep, it schedules events instead.
+func (c *vclock) NewTimer(time.Duration) cluster.Timer { return deadTimer{} }
+
+type deadTimer struct{}
+
+func (deadTimer) C() <-chan time.Time { return nil }
+func (deadTimer) Stop() bool          { return false }
+
+// event is one scheduled action; seq breaks ties so heap order — and
+// therefore the whole simulation — is deterministic.
+type event struct {
+	at  time.Time
+	seq int
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// sim is the running simulation state.
+type sim struct {
+	clock  *vclock
+	start  time.Time
+	events eventHeap
+	seq    int
+
+	core   *cluster.Core
+	cfg    cluster.Config // resolved
+	spec   *campaign.Spec
+	units  []campaign.Unit
+	cache  *campaign.Cache
+	fleet  []Worker // by core worker index
+	slotOf []int    // slot id -> worker index
+	idle   []bool   // slot id -> parked waiting for work
+	runErr error
+}
+
+// Run executes the scenario to completion on virtual time.
+func Run(sc Scenario) (*Result, error) {
+	if len(sc.Workers) == 0 {
+		return nil, fmt.Errorf("fleetsim: no workers in scenario")
+	}
+	if sc.Spec == nil {
+		return nil, fmt.Errorf("fleetsim: no spec in scenario")
+	}
+	if err := sc.Spec.Validate(); err != nil {
+		return nil, err
+	}
+
+	clock := &vclock{now: time.Unix(0, 0).UTC()}
+	cfg := sc.Config
+	cfg.Clock = clock
+	cfg.Workers = make([]string, len(sc.Workers))
+	fleet := append([]Worker(nil), sc.Workers...)
+	for i := range fleet {
+		if fleet[i].Name == "" {
+			fleet[i].Name = fmt.Sprintf("sim-%d", i)
+		}
+		cfg.Workers[i] = fleet[i].Name
+	}
+
+	units := sc.Spec.Units()
+	var buf bytes.Buffer
+	sink := campaign.NewSink(&buf)
+	core, err := cluster.NewCore(cfg, len(units), sc.Done, sink)
+	if err != nil {
+		return nil, err
+	}
+
+	s := &sim{
+		clock: clock,
+		start: clock.now,
+		core:  core,
+		cfg:   core.Config(),
+		spec:  sc.Spec,
+		units: units,
+		cache: campaign.NewCache(sc.Spec.Trials + 16),
+		fleet: fleet,
+	}
+	for wi := range fleet {
+		for k := 0; k < s.cfg.Slots; k++ {
+			s.slotOf = append(s.slotOf, wi)
+		}
+	}
+	s.idle = make([]bool, len(s.slotOf))
+	for slot := range s.slotOf {
+		s.scheduleTry(clock.now, slot)
+	}
+
+	events := 0
+	for !core.Finished() {
+		if len(s.events) == 0 {
+			return nil, fmt.Errorf("fleetsim: deadlock at %v: no events and %d units unmerged",
+				clock.now.Sub(s.start), s.core.Stats().Units)
+		}
+		if events++; events > maxEvents {
+			return nil, fmt.Errorf("fleetsim: exceeded %d events at %v", maxEvents, clock.now.Sub(s.start))
+		}
+		ev := heap.Pop(&s.events).(*event)
+		if ev.at.Before(clock.now) {
+			return nil, fmt.Errorf("fleetsim: time went backwards: %v -> %v", clock.now, ev.at)
+		}
+		clock.now = ev.at
+		ev.fn()
+		if s.runErr != nil {
+			return nil, s.runErr
+		}
+	}
+
+	res := &Result{
+		Makespan: clock.now.Sub(s.start),
+		Stats:    core.Stats(),
+		Artifact: append([]byte(nil), buf.Bytes()...),
+		Events:   events,
+	}
+	return res, core.Err()
+}
+
+func (s *sim) schedule(at time.Time, fn func()) {
+	s.seq++
+	heap.Push(&s.events, &event{at: at, seq: s.seq, fn: fn})
+}
+
+func (s *sim) scheduleTry(at time.Time, slot int) {
+	s.schedule(at, func() { s.try(slot) })
+}
+
+// wakeIdle reschedules every parked slot; called whenever a dispatch
+// outcome may have made new work runnable (a requeue, a fresh hedge
+// candidate, or a completion freeing the tail guard).
+func (s *sim) wakeIdle() {
+	for slot, parked := range s.idle {
+		if parked {
+			s.idle[slot] = false
+			s.scheduleTry(s.clock.now, slot)
+		}
+	}
+}
+
+// try is one slot asking the core for work — the simulator's analogue of
+// one slotLoop iteration.
+func (s *sim) try(slot int) {
+	if s.core.Finished() {
+		return
+	}
+	wi := s.slotOf[slot]
+	if wait, ok := s.core.Gate(wi); !ok {
+		if wait <= 0 {
+			wait = failLatency
+		}
+		s.scheduleTry(s.clock.now.Add(wait), slot)
+		return
+	}
+	l, ok := s.core.Acquire(wi)
+	if !ok {
+		// Nothing runnable for this worker now. If some in-flight shard
+		// becomes hedge-eligible later, poll again at that horizon;
+		// otherwise park until an outcome wakes us.
+		if at, ok := s.core.HedgeHorizon(); ok && at.After(s.clock.now) {
+			s.scheduleTry(at, slot)
+			return
+		}
+		s.idle[slot] = true
+		return
+	}
+	s.dispatch(slot, wi, l)
+}
+
+// dispatch decides the outcome of one leased shard from the worker model
+// and schedules it.
+func (s *sim) dispatch(slot, wi int, l cluster.Lease) {
+	w := s.fleet[wi]
+	rel := s.clock.now.Sub(s.start)
+
+	fail := func(after time.Duration, err error) {
+		at := s.clock.now.Add(after)
+		s.schedule(at, func() {
+			s.core.Fail(l, err, after)
+			s.scheduleTry(at, slot)
+			s.wakeIdle()
+		})
+	}
+
+	for _, win := range w.Down {
+		if win.contains(rel) {
+			fail(failLatency, &cluster.DispatchError{
+				Err: fmt.Errorf("fleetsim: %v on %s: connection refused (down)", l.Shard, w.Name),
+			})
+			return
+		}
+	}
+	for _, win := range w.Storm {
+		if win.contains(rel) {
+			fail(failLatency, &cluster.DispatchError{
+				Status:     503,
+				RetryAfter: w.RetryAfter,
+				Err:        fmt.Errorf("fleetsim: %v on %s: status 503: shedding load", l.Shard, w.Name),
+			})
+			return
+		}
+	}
+
+	service := w.Overhead + w.UnitTime*time.Duration(l.Shard.Len())
+	// A crash window opening mid-flight drops the connection at that
+	// instant; the shard requeues immediately, lease-expiry style but
+	// without waiting out the lease.
+	for _, win := range w.Down {
+		if win.From > rel && win.From < rel+service {
+			fail(win.From-rel, &cluster.DispatchError{
+				Err: fmt.Errorf("fleetsim: %v on %s: connection reset (crashed mid-flight)", l.Shard, w.Name),
+			})
+			return
+		}
+	}
+	// A dispatch outliving its lease is cancelled by the coordinator at
+	// the deadline and counts as a failure, exactly like the HTTP path's
+	// context timeout.
+	if service >= s.cfg.LeaseTimeout {
+		fail(s.cfg.LeaseTimeout, &cluster.DispatchError{
+			Err: fmt.Errorf("fleetsim: %v on %s: lease expired after %v (service time %v)",
+				l.Shard, w.Name, s.cfg.LeaseTimeout, service),
+		})
+		return
+	}
+
+	batches, err := campaign.RunShard(s.spec, s.units, l.Shard, s.cache)
+	if err != nil {
+		s.runErr = fmt.Errorf("fleetsim: computing %v: %w", l.Shard, err)
+		return
+	}
+	// Zero the one nondeterministic field: wall_ns measures the host that
+	// ran the simulation, which means nothing on virtual time. With it
+	// gone, identical scenarios produce byte-identical artifacts.
+	for _, recs := range batches {
+		for i := range recs {
+			recs[i].WallNS = 0
+		}
+	}
+	at := s.clock.now.Add(service)
+	s.schedule(at, func() {
+		if _, err := s.core.Complete(l, batches, service); err != nil {
+			return // sink error is fatal; the core records it
+		}
+		s.scheduleTry(at, slot)
+		s.wakeIdle()
+	})
+}

@@ -74,17 +74,24 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	m := c.m
 
-	var pending, inflight, done, total, deduped int
+	var pending, inflight, done, carved, deduped int
+	var sizeMin, sizeMedian, sizeMax int
+	var perUnit map[string]float64
 	c.mu.Lock()
 	if st := c.cur; st != nil {
-		pending, inflight, done, total = st.counts()
+		pending, inflight, done, carved = st.counts()
 		deduped = st.sink.Deduped()
+		sizeMin, sizeMedian, sizeMax = st.sizeSummary()
+		perUnit = make(map[string]float64, len(c.workers))
+		for _, wk := range c.workers {
+			perUnit[wk.url] = st.sizer.perUnit(wk.url)
+		}
 	}
 	c.mu.Unlock()
 
-	fmt.Fprintf(w, "# HELP oracleherd_shards_total Shards in the active run's work list.\n")
+	fmt.Fprintf(w, "# HELP oracleherd_shards_total Shards carved so far in the active run (not known in advance under adaptive sizing).\n")
 	fmt.Fprintf(w, "# TYPE oracleherd_shards_total gauge\n")
-	fmt.Fprintf(w, "oracleherd_shards_total %d\n", total)
+	fmt.Fprintf(w, "oracleherd_shards_total %d\n", carved)
 	fmt.Fprintf(w, "# HELP oracleherd_shards_done Shards merged so far in the active run.\n")
 	fmt.Fprintf(w, "# TYPE oracleherd_shards_done gauge\n")
 	fmt.Fprintf(w, "oracleherd_shards_done %d\n", done)
@@ -106,6 +113,16 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "# HELP oracleherd_dedup_dropped_records_total Records dropped by the idempotent merge (hedge losers, resumed units).\n")
 	fmt.Fprintf(w, "# TYPE oracleherd_dedup_dropped_records_total counter\n")
 	fmt.Fprintf(w, "oracleherd_dedup_dropped_records_total %d\n", deduped)
+	fmt.Fprintf(w, "# HELP oracleherd_shard_size_units Carved shard sizes in the active run, by summary statistic.\n")
+	fmt.Fprintf(w, "# TYPE oracleherd_shard_size_units gauge\n")
+	fmt.Fprintf(w, "oracleherd_shard_size_units{stat=\"min\"} %d\n", sizeMin)
+	fmt.Fprintf(w, "oracleherd_shard_size_units{stat=\"median\"} %d\n", sizeMedian)
+	fmt.Fprintf(w, "oracleherd_shard_size_units{stat=\"max\"} %d\n", sizeMax)
+	fmt.Fprintf(w, "# HELP oracleherd_worker_unit_seconds EWMA of per-unit service time the adaptive sizer holds for each worker (0 before the first sample).\n")
+	fmt.Fprintf(w, "# TYPE oracleherd_worker_unit_seconds gauge\n")
+	for _, wk := range c.workers {
+		fmt.Fprintf(w, "oracleherd_worker_unit_seconds{worker=%q} %s\n", wk.url, formatFloat(perUnit[wk.url]))
+	}
 
 	fmt.Fprintf(w, "# HELP oracleherd_worker_up Latest health-probe outcome per worker.\n")
 	fmt.Fprintf(w, "# TYPE oracleherd_worker_up gauge\n")

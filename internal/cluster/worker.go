@@ -42,16 +42,20 @@ type workerHealthz struct {
 	CatalogFingerprint string      `json:"catalog_fingerprint"`
 }
 
-// dispatchError is a failed shard dispatch, carrying the worker's
-// Retry-After hint when it shed load.
-type dispatchError struct {
-	status     int // 0 for transport-level failures
-	retryAfter time.Duration
-	err        error
+// DispatchError is a failed shard dispatch, carrying the HTTP status and
+// the worker's Retry-After hint when it shed load. The backoff path reads
+// both via errors.As; fleetsim constructs them to model 503 storms.
+type DispatchError struct {
+	// Status is the HTTP status code, 0 for transport-level failures.
+	Status int
+	// RetryAfter is the worker's shed hint; it overrides a shorter backoff.
+	RetryAfter time.Duration
+	// Err describes the failure.
+	Err error
 }
 
-func (e *dispatchError) Error() string { return e.err.Error() }
-func (e *dispatchError) Unwrap() error { return e.err }
+func (e *DispatchError) Error() string { return e.Err.Error() }
+func (e *DispatchError) Unwrap() error { return e.Err }
 
 // worker is one fleet member: its HTTP client plus the failure bookkeeping
 // — backoff gate and circuit breaker — that decides when it may be handed
@@ -88,7 +92,7 @@ func newWorker(url string, cfg *Config, m *metrics, rng *lockedRand) *worker {
 // gate reports whether the worker may be handed a dispatch now; when not,
 // it returns how long to wait before asking again.
 func (w *worker) gate() (wait time.Duration, ok bool) {
-	now := time.Now()
+	now := w.cfg.Clock.Now()
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if now.Before(w.notBefore) {
@@ -111,7 +115,7 @@ func (w *worker) gate() (wait time.Duration, ok bool) {
 // (overridden upward by a Retry-After hint), and breaker opening at the
 // threshold — including re-opening when a half-open trial fails.
 func (w *worker) fail(err error) {
-	now := time.Now()
+	now := w.cfg.Clock.Now()
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	w.trialInFlight = false
@@ -124,9 +128,9 @@ func (w *worker) fail(err error) {
 	if backoff > w.cfg.BackoffMax || backoff <= 0 {
 		backoff = w.cfg.BackoffMax
 	}
-	var de *dispatchError
-	if errors.As(err, &de) && de.retryAfter > backoff {
-		backoff = de.retryAfter
+	var de *DispatchError
+	if errors.As(err, &de) && de.RetryAfter > backoff {
+		backoff = de.RetryAfter
 	}
 	w.notBefore = now.Add(w.rng.jitter(backoff))
 	if w.consecFails >= w.cfg.BreakerThreshold {
@@ -150,7 +154,7 @@ func (w *worker) ok() {
 func (w *worker) breakerOpen() bool {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	return w.consecFails >= w.cfg.BreakerThreshold && time.Now().Before(w.openUntil)
+	return w.consecFails >= w.cfg.BreakerThreshold && w.cfg.Clock.Now().Before(w.openUntil)
 }
 
 // healthSnapshot is the probe outcome Probe logs.
@@ -167,6 +171,14 @@ func (w *worker) health() healthSnapshot {
 	return healthSnapshot{up: w.up, err: w.probeErr, build: w.build, fingerprint: w.fingerprint}
 }
 
+// markUp seeds the worker as healthy without a network probe — the
+// simulated-fleet path, where /healthz does not exist.
+func (w *worker) markUp() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.up = true
+}
+
 // probe GETs /healthz and records the outcome. An unreachable worker
 // starts with its breaker open, so dispatch skips it until a half-open
 // trial readmits it.
@@ -175,7 +187,7 @@ func (w *worker) probe(ctx context.Context) {
 	defer cancel()
 	var h workerHealthz
 	err := w.getJSON(ctx, w.url+"/healthz", &h)
-	now := time.Now()
+	now := w.cfg.Clock.Now()
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if err != nil {
@@ -213,7 +225,7 @@ func (w *worker) getJSON(ctx context.Context, url string, dst any) error {
 }
 
 // dispatch POSTs one shard and returns its per-unit record batches. All
-// failures come back as *dispatchError so the retry path can read the
+// failures come back as *DispatchError so the retry path can read the
 // status and Retry-After hint.
 func (w *worker) dispatch(ctx context.Context, spec *campaign.Spec, sh campaign.Shard) ([][]campaign.Record, error) {
 	body, err := json.Marshal(shardRequest{Spec: spec, Start: sh.Start, End: sh.End})
@@ -227,7 +239,7 @@ func (w *worker) dispatch(ctx context.Context, spec *campaign.Spec, sh campaign.
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := w.cfg.Client.Do(req)
 	if err != nil {
-		return nil, &dispatchError{err: fmt.Errorf("cluster: %v on %s: %w", sh, w.url, err)}
+		return nil, &DispatchError{Err: fmt.Errorf("cluster: %v on %s: %w", sh, w.url, err)}
 	}
 	defer func() {
 		io.Copy(io.Discard, resp.Body)
@@ -235,23 +247,23 @@ func (w *worker) dispatch(ctx context.Context, spec *campaign.Spec, sh campaign.
 	}()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return nil, &dispatchError{
-			status:     resp.StatusCode,
-			retryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
-			err: fmt.Errorf("cluster: %v on %s: status %d: %s",
+		return nil, &DispatchError{
+			Status:     resp.StatusCode,
+			RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+			Err: fmt.Errorf("cluster: %v on %s: status %d: %s",
 				sh, w.url, resp.StatusCode, bytes.TrimSpace(msg)),
 		}
 	}
 	var sr shardResponse
 	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
-		return nil, &dispatchError{err: fmt.Errorf("cluster: decoding %v from %s: %w", sh, w.url, err)}
+		return nil, &DispatchError{Err: fmt.Errorf("cluster: decoding %v from %s: %w", sh, w.url, err)}
 	}
 	if len(sr.Units) != sh.Len() {
-		return nil, &dispatchError{err: fmt.Errorf("cluster: %v on %s: %d unit batches, want %d",
+		return nil, &DispatchError{Err: fmt.Errorf("cluster: %v on %s: %d unit batches, want %d",
 			sh, w.url, len(sr.Units), sh.Len())}
 	}
 	if want := spec.Hash(); sr.SpecHash != want {
-		return nil, &dispatchError{err: fmt.Errorf("cluster: %v on %s: spec hash %s, want %s",
+		return nil, &DispatchError{Err: fmt.Errorf("cluster: %v on %s: spec hash %s, want %s",
 			sh, w.url, sr.SpecHash, want)}
 	}
 	return sr.Units, nil
