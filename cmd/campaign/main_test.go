@@ -227,3 +227,162 @@ func TestUsageAndFlagErrors(t *testing.T) {
 		t.Errorf("validate without in accepted")
 	}
 }
+
+// warehouseCanon runs the quick spec into flat JSONL and returns its
+// canonical form — the byte-identity reference every warehouse test
+// compares against.
+func warehouseCanon(t *testing.T, dir string) string {
+	t.Helper()
+	flat := filepath.Join(dir, "flat.jsonl")
+	if _, errOut, code := runCLI(t, "run", "-quick", "-out", flat); code != 0 {
+		t.Fatalf("flat run: %s", errOut)
+	}
+	canon, errOut, code := runCLI(t, "canon", "-in", flat)
+	if code != 0 {
+		t.Fatalf("canon: %s", errOut)
+	}
+	return canon
+}
+
+func TestWarehouseRunExportMatchesCanon(t *testing.T) {
+	dir := t.TempDir()
+	want := warehouseCanon(t, dir)
+
+	wh := filepath.Join(dir, "wh")
+	if _, errOut, code := runCLI(t, "run", "-quick", "-warehouse", wh); code != 0 {
+		t.Fatalf("warehouse run: %s", errOut)
+	}
+	got, errOut, code := runCLI(t, "export", "-warehouse", wh)
+	if code != 0 {
+		t.Fatalf("export: %s", errOut)
+	}
+	if got != want {
+		t.Error("warehouse export differs from canonical JSONL run")
+	}
+
+	// Compaction must not change a byte of the export.
+	if _, errOut, code := runCLI(t, "compact", "-warehouse", wh); code != 0 {
+		t.Fatalf("compact: %s", errOut)
+	}
+	got, _, code = runCLI(t, "export", "-warehouse", wh)
+	if code != 0 || got != want {
+		t.Errorf("export after compact differs (exit %d)", code)
+	}
+
+	// A second fresh run into the same directory is refused.
+	if _, errOut, code := runCLI(t, "run", "-quick", "-warehouse", wh); code != 1 || !strings.Contains(errOut, "already holds") {
+		t.Errorf("fresh run into a full warehouse: exit %d, %s", code, errOut)
+	}
+	// A different spec is refused by the hash pin.
+	if _, errOut, code := runCLI(t, "resume", "-quick", "-seed", "77", "-warehouse", wh); code != 1 || !strings.Contains(errOut, "refusing to open") {
+		t.Errorf("foreign spec accepted: exit %d, %s", code, errOut)
+	}
+}
+
+func TestWarehouseResume(t *testing.T) {
+	dir := t.TempDir()
+	want := warehouseCanon(t, dir)
+
+	// A partial warehouse: import the first 9 units' records, then resume.
+	flat := filepath.Join(dir, "flat.jsonl")
+	data, err := os.ReadFile(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(data), "\n")
+	partial := filepath.Join(dir, "partial.jsonl")
+	if err := os.WriteFile(partial, []byte(strings.Join(lines[:9], "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	wh := filepath.Join(dir, "wh")
+	if _, errOut, code := runCLI(t, "import", "-in", partial, "-warehouse", wh); code != 0 {
+		t.Fatalf("import: %s", errOut)
+	}
+	_, errOut, code := runCLI(t, "resume", "-quick", "-warehouse", wh)
+	if code != 0 {
+		t.Fatalf("resume: %s", errOut)
+	}
+	if !strings.Contains(errOut, "9 skipped") {
+		t.Errorf("resume did not skip the 9 imported units: %s", errOut)
+	}
+	got, _, code := runCLI(t, "export", "-warehouse", wh)
+	if code != 0 || got != want {
+		t.Errorf("export after resume differs from canon (exit %d)", code)
+	}
+}
+
+func TestWarehouseImportRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	want := warehouseCanon(t, dir)
+	flat := filepath.Join(dir, "flat.jsonl")
+
+	wh := filepath.Join(dir, "wh")
+	out, errOut, code := runCLI(t, "import", "-in", flat, "-warehouse", wh)
+	if code != 0 {
+		t.Fatalf("import: %s", errOut)
+	}
+	if !strings.Contains(out, "imported") {
+		t.Errorf("import summary missing: %q", out)
+	}
+	// Importing again is a no-op thanks to unit-key dedup.
+	if _, errOut, code := runCLI(t, "import", "-in", flat, "-warehouse", wh); code != 0 {
+		t.Fatalf("re-import: %s", errOut)
+	}
+	got, _, code := runCLI(t, "export", "-warehouse", wh)
+	if code != 0 || got != want {
+		t.Errorf("export after double import differs from canon (exit %d)", code)
+	}
+}
+
+func TestWarehouseQueryAndSummary(t *testing.T) {
+	dir := t.TempDir()
+	wh := filepath.Join(dir, "wh")
+	if _, errOut, code := runCLI(t, "run", "-quick", "-warehouse", wh); code != 0 {
+		t.Fatalf("run: %s", errOut)
+	}
+	out, errOut, code := runCLI(t, "query", "-warehouse", wh, "-task", "wakeup")
+	if code != 0 {
+		t.Fatalf("query: %s", errOut)
+	}
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		var rec map[string]interface{}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("query line %q: %v", line, err)
+		}
+		if rec["task"] != "wakeup" {
+			t.Errorf("query leaked record for task %v", rec["task"])
+		}
+	}
+	if !strings.Contains(errOut, "matched") {
+		t.Errorf("query stats missing: %s", errOut)
+	}
+	if out, _, code := runCLI(t, "query", "-warehouse", wh, "-task", "no-such-task"); code != 0 || out != "" {
+		t.Errorf("impossible query: exit %d, out %q", code, out)
+	}
+
+	sumWh, errOut, code := runCLI(t, "summary", "-warehouse", wh)
+	if code != 0 || !strings.Contains(sumWh, "campaign aggregate: wakeup") {
+		t.Fatalf("warehouse summary: exit %d err=%q", code, errOut)
+	}
+}
+
+func TestWarehouseFlagErrors(t *testing.T) {
+	if _, errOut, code := runCLI(t, "run", "-quick", "-out", "a", "-warehouse", "b"); code != 1 || !strings.Contains(errOut, "choose one") {
+		t.Errorf("run with both sinks: exit %d, %s", code, errOut)
+	}
+	if _, _, code := runCLI(t, "query"); code != 1 {
+		t.Error("query without warehouse accepted")
+	}
+	if _, _, code := runCLI(t, "export"); code != 1 {
+		t.Error("export without warehouse accepted")
+	}
+	if _, _, code := runCLI(t, "import", "-in", "x.jsonl"); code != 1 {
+		t.Error("import without warehouse accepted")
+	}
+	if _, _, code := runCLI(t, "compact"); code != 1 {
+		t.Error("compact without warehouse accepted")
+	}
+	if _, _, code := runCLI(t, "summary", "-in", "a.jsonl", "-warehouse", "b"); code != 1 {
+		t.Error("summary with both inputs accepted")
+	}
+}

@@ -5,7 +5,7 @@
 // writes — byte-identical apart from wall_ns.
 //
 //	oracleherd -workers http://a:8080,http://b:8080 (-quick | -spec spec.json)
-//	           -out results.jsonl [-resume] [-seed S]
+//	           (-out results.jsonl | -warehouse dir) [-resume] [-seed S]
 //	           [-shard-size 0] [-shard-min 4] [-shard-max 512] [-shard-target 2s]
 //	           [-slots 2] [-lease 2m] [-hedge-after 30s]
 //	           [-retries 8] [-allow-skew] [-metrics :9090]
@@ -21,6 +21,11 @@
 // expired leases are reassigned, and stragglers are hedged to idle workers
 // with duplicate results dropped by the idempotent merge. With -metrics,
 // the coordinator serves its own Prometheus page while the run is active.
+//
+// With -warehouse the merge deposits into an embedded warehouse (see
+// internal/warehouse) instead of flat JSONL, with the same
+// idempotent-dedup guarantee; `campaign export` recovers the canonical
+// JSONL byte for byte.
 package main
 
 import (
@@ -38,6 +43,7 @@ import (
 
 	"oraclesize/internal/campaign"
 	"oraclesize/internal/cluster"
+	"oraclesize/internal/warehouse"
 )
 
 func main() {
@@ -51,8 +57,9 @@ func run(args []string, out, errOut io.Writer) int {
 		workers     = fs.String("workers", "", "comma-separated oracled base URLs (required)")
 		specPath    = fs.String("spec", "", "campaign spec file (JSON)")
 		quick       = fs.Bool("quick", false, "use the built-in quick smoke spec")
-		outPath     = fs.String("out", "", "merged results JSONL file (required)")
-		resume      = fs.Bool("resume", false, "resume -out: dispatch only the units it is missing")
+		outPath     = fs.String("out", "", "merged results JSONL file (-out or -warehouse required)")
+		whDir       = fs.String("warehouse", "", "merge into this warehouse directory instead of JSONL")
+		resume      = fs.Bool("resume", false, "resume the artifact: dispatch only the units it is missing")
 		seed        = fs.Int64("seed", 0, "override the spec seed")
 		shardSize   = fs.Int("shard-size", 0, "fixed units per shard; 0 sizes shards adaptively from worker latency")
 		shardMin    = fs.Int("shard-min", 4, "adaptive sizing: smallest shard carved (also the first probe lease)")
@@ -72,8 +79,8 @@ func run(args []string, out, errOut io.Writer) int {
 		fmt.Fprintln(errOut, "oracleherd: -workers is required")
 		return 2
 	}
-	if *outPath == "" {
-		fmt.Fprintln(errOut, "oracleherd: -out is required")
+	if (*outPath == "") == (*whDir == "") {
+		fmt.Fprintln(errOut, "oracleherd: exactly one of -out and -warehouse is required")
 		return 2
 	}
 	var urls []string
@@ -108,37 +115,59 @@ func run(args []string, out, errOut io.Writer) int {
 		spec.Seed = *seed
 	}
 
-	// Resume mirrors `campaign resume`: load the done set, verify the file
-	// belongs to this spec, and drop any torn final line before appending.
+	// Resume mirrors `campaign resume`: load the done set, verify the
+	// artifact belongs to this spec, and (for JSONL) drop any torn final
+	// line before appending. The warehouse's done set is an index lookup.
 	done := map[string]bool{}
-	var validLen int64
-	if *resume {
-		var recs []campaign.Record
+	var store campaign.Store
+	var wh *warehouse.Warehouse
+	if *whDir != "" {
 		var err error
-		done, recs, validLen, err = campaign.LoadDoneFile(*outPath)
+		wh, err = warehouse.Open(*whDir, warehouse.Options{SpecHash: spec.Hash()})
 		if err != nil {
 			fmt.Fprintln(errOut, err)
 			return 1
 		}
-		if hash := spec.Hash(); len(recs) > 0 && recs[0].SpecHash != hash {
-			fmt.Fprintf(errOut, "oracleherd: %s was produced by spec %s, not %s — refusing to resume\n",
-				*outPath, recs[0].SpecHash, hash)
+		defer wh.Close()
+		if *resume {
+			done = wh.SeenUnits()
+		} else if wh.Units() > 0 {
+			fmt.Fprintf(errOut, "oracleherd: warehouse %s already holds %d units — use -resume or a new directory\n",
+				*whDir, wh.Units())
 			return 1
 		}
-	}
-	f, err := os.OpenFile(*outPath, os.O_CREATE|os.O_WRONLY, 0o644)
-	if err != nil {
-		fmt.Fprintln(errOut, err)
-		return 1
-	}
-	defer f.Close()
-	if err := f.Truncate(validLen); err != nil {
-		fmt.Fprintln(errOut, err)
-		return 1
-	}
-	if _, err := f.Seek(validLen, io.SeekStart); err != nil {
-		fmt.Fprintln(errOut, err)
-		return 1
+		store = wh
+	} else {
+		var validLen int64
+		if *resume {
+			var specHash string
+			var err error
+			done, specHash, validLen, err = campaign.ScanDoneFile(*outPath)
+			if err != nil {
+				fmt.Fprintln(errOut, err)
+				return 1
+			}
+			if hash := spec.Hash(); specHash != "" && specHash != hash {
+				fmt.Fprintf(errOut, "oracleherd: %s was produced by spec %s, not %s — refusing to resume\n",
+					*outPath, specHash, hash)
+				return 1
+			}
+		}
+		f, err := os.OpenFile(*outPath, os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			fmt.Fprintln(errOut, err)
+			return 1
+		}
+		defer f.Close()
+		if err := f.Truncate(validLen); err != nil {
+			fmt.Fprintln(errOut, err)
+			return 1
+		}
+		if _, err := f.Seek(validLen, io.SeekStart); err != nil {
+			fmt.Fprintln(errOut, err)
+			return 1
+		}
+		store = campaign.NewSink(f)
 	}
 
 	coord, err := cluster.New(cluster.Config{
@@ -178,11 +207,17 @@ func run(args []string, out, errOut io.Writer) int {
 	defer stop()
 
 	start := time.Now()
-	stats, err := coord.Run(ctx, spec, campaign.NewSink(f), done)
+	stats, err := coord.Run(ctx, spec, store, done)
 	if err != nil {
 		// The artifact still holds a valid prefix; -resume completes it.
 		fmt.Fprintln(errOut, err)
 		return 1
+	}
+	if wh != nil {
+		if err := wh.Close(); err != nil {
+			fmt.Fprintln(errOut, err)
+			return 1
+		}
 	}
 	fmt.Fprintf(errOut, "oracleherd %s %s: %d units in %d shards (%d resumed), sizes %d/%d/%d min/med/max, %d records, %d retries, %d hedges, %d reassignments, %d dedup drops, wall %v\n",
 		spec.Name, spec.Hash(), stats.Units, stats.Shards, stats.Skipped,
@@ -196,6 +231,11 @@ func run(args []string, out, errOut io.Writer) int {
 	sort.Strings(names)
 	for _, u := range names {
 		fmt.Fprintf(out, "  %s: %d shards\n", u, stats.WorkerShards[u])
+	}
+	if wh != nil {
+		s := wh.Stats()
+		fmt.Fprintf(errOut, "warehouse: %d units, %d records (%d in %d segments, %d in WAL), WAL %d bytes, %d compactions\n",
+			s.Units, s.Records, s.SegmentRecords, s.Segments, s.WALRecords, s.WALBytes, s.Compactions)
 	}
 	return 0
 }

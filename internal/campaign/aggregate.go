@@ -45,34 +45,62 @@ func (c *aggCell) add(r Record) {
 
 func (c *aggCell) mean(sum float64) float64 { return sum / float64(c.trials) }
 
-// fold groups task records by grid point in first-appearance order.
-func fold(records []Record) ([]aggKey, map[aggKey]*aggCell) {
-	var order []aggKey
-	cells := make(map[aggKey]*aggCell)
-	for _, r := range records {
-		if r.Kind != KindTask {
-			continue
-		}
-		k := aggKey{task: r.Task, family: r.Family, n: r.N, scheme: r.Scheme}
-		c, ok := cells[k]
-		if !ok {
-			c = &aggCell{}
-			cells[k] = c
-			order = append(order, k)
-		}
-		c.add(r)
-	}
-	return order, cells
+// Aggregator folds records into summary tables one record at a time, so
+// callers can stream an artifact (StreamRecords, a warehouse Scan)
+// through it without ever holding the record list. Task records reduce
+// to O(grid) running cells; experiment replays are the one part that
+// must be retained, because their table cells are reproduced verbatim.
+type Aggregator struct {
+	order    []aggKey
+	cells    map[aggKey]*aggCell
+	expOrder []string
+	expRows  map[string][]Record
 }
 
-// Aggregate folds JSONL records back into experiments.Table form: one
-// table per task (trial means per grid point) followed by one table per
-// replayed experiment, reconstructed cell-for-cell.
-func Aggregate(records []Record) []*experiments.Table {
-	order, cells := fold(records)
+// NewAggregator returns an empty aggregator ready for Add.
+func NewAggregator() *Aggregator {
+	return &Aggregator{
+		cells:   make(map[aggKey]*aggCell),
+		expRows: make(map[string][]Record),
+	}
+}
+
+// Add folds one record into the running aggregate.
+func (a *Aggregator) Add(r Record) {
+	switch r.Kind {
+	case KindTask:
+		k := aggKey{task: r.Task, family: r.Family, n: r.N, scheme: r.Scheme}
+		c, ok := a.cells[k]
+		if !ok {
+			c = &aggCell{}
+			a.cells[k] = c
+			a.order = append(a.order, k)
+		}
+		c.add(r)
+	case KindExperiment:
+		if _, ok := a.expRows[r.Experiment]; !ok {
+			a.expOrder = append(a.expOrder, r.Experiment)
+		}
+		a.expRows[r.Experiment] = append(a.expRows[r.Experiment], r)
+	}
+}
+
+// fold groups task records by grid point in first-appearance order.
+func fold(records []Record) *Aggregator {
+	a := NewAggregator()
+	for _, r := range records {
+		a.Add(r)
+	}
+	return a
+}
+
+// Tables renders the aggregate in experiments.Table form: one table per
+// task (trial means per grid point) followed by one table per replayed
+// experiment, reconstructed cell-for-cell.
+func (a *Aggregator) Tables() []*experiments.Table {
 	var tables []*experiments.Table
 	byTask := make(map[string]*experiments.Table)
-	for _, k := range order {
+	for _, k := range a.order {
 		t, ok := byTask[k.task]
 		if !ok {
 			t = &experiments.Table{
@@ -86,7 +114,7 @@ func Aggregate(records []Record) []*experiments.Table {
 			byTask[k.task] = t
 			tables = append(tables, t)
 		}
-		c := cells[k]
+		c := a.cells[k]
 		t.AddRow(
 			k.family, k.n, k.scheme, c.trials,
 			c.mean(c.nodes), c.mean(c.edges), c.mean(c.adviceBits),
@@ -94,26 +122,21 @@ func Aggregate(records []Record) []*experiments.Table {
 			completeMark(c.complete),
 		)
 	}
-	tables = append(tables, replayTables(records)...)
+	tables = append(tables, a.replayTables()...)
 	return tables
 }
 
+// Aggregate folds a record list and renders it; streaming callers should
+// feed an Aggregator directly instead of materializing the slice.
+func Aggregate(records []Record) []*experiments.Table {
+	return fold(records).Tables()
+}
+
 // replayTables rebuilds experiment tables from experiment-kind records.
-func replayTables(records []Record) []*experiments.Table {
-	var ids []string
-	rows := make(map[string][]Record)
-	for _, r := range records {
-		if r.Kind != KindExperiment {
-			continue
-		}
-		if _, ok := rows[r.Experiment]; !ok {
-			ids = append(ids, r.Experiment)
-		}
-		rows[r.Experiment] = append(rows[r.Experiment], r)
-	}
+func (a *Aggregator) replayTables() []*experiments.Table {
 	var tables []*experiments.Table
-	for _, id := range ids {
-		recs := rows[id]
+	for _, id := range a.expOrder {
+		recs := append([]Record(nil), a.expRows[id]...)
 		sort.SliceStable(recs, func(i, j int) bool {
 			if recs[i].Trial != recs[j].Trial {
 				return recs[i].Trial < recs[j].Trial
@@ -137,13 +160,19 @@ func replayTables(records []Record) []*experiments.Table {
 	return tables
 }
 
-// Summary compares a run against a baseline, grid point by grid point:
-// each metric cell shows the current mean plus its delta to the baseline
+// Summary compares a run against a baseline; streaming callers should
+// fold both sides into Aggregators and call SummaryOf.
+func Summary(current, baseline []Record) []*experiments.Table {
+	return SummaryOf(fold(current), fold(baseline))
+}
+
+// SummaryOf compares two aggregates, grid point by grid point: each
+// metric cell shows the current mean plus its delta to the baseline
 // mean. Grid points absent from the baseline are flagged "new"; baseline
 // points absent from the run are appended as "dropped".
-func Summary(current, baseline []Record) []*experiments.Table {
-	curOrder, curCells := fold(current)
-	baseOrder, baseCells := fold(baseline)
+func SummaryOf(current, baseline *Aggregator) []*experiments.Table {
+	curOrder, curCells := current.order, current.cells
+	baseOrder, baseCells := baseline.order, baseline.cells
 	var tables []*experiments.Table
 	byTask := make(map[string]*experiments.Table)
 	tableFor := func(task string) *experiments.Table {

@@ -40,10 +40,11 @@ type Stats struct {
 }
 
 // Run validates the spec, compiles its units, executes the ones not
-// already Done on a bounded pool, and streams records to the sink in unit
-// order. On error the sink still holds a valid prefix, so a later Run with
+// already Done on a bounded pool, and deposits records into the store —
+// a JSONL Sink flushing in unit order, or a warehouse. On error the
+// store still holds a consistent subset of units, so a later Run with
 // Done loaded from it completes exactly the missing units.
-func Run(spec *Spec, sink *Sink, opts RunOptions) (Stats, error) {
+func Run(spec *Spec, sink Store, opts RunOptions) (Stats, error) {
 	if err := spec.Validate(); err != nil {
 		return Stats{}, err
 	}

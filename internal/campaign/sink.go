@@ -1,7 +1,6 @@
 package campaign
 
 import (
-	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -113,45 +112,44 @@ func LoadDone(r io.Reader) (map[string]bool, []Record, error) {
 	return done, recs, nil
 }
 
-// LoadDoneFile is LoadDone over a file. It additionally returns the byte
-// length of the valid JSONL prefix: a resume must truncate the file to
-// that length before appending, or a torn final line from a killed run
-// would concatenate with the first appended record. A missing file reads
-// as empty.
+// LoadDoneFile is LoadDone over a file, in one streaming pass that never
+// holds the raw file bytes. It additionally returns the byte length of
+// the valid JSONL prefix: a resume must truncate the file to that length
+// before appending, or a torn final line from a killed run would
+// concatenate with the first appended record. A missing file reads as
+// empty. Callers that only need the done set should prefer ScanDoneFile,
+// which skips decoding and retaining the records entirely.
 func LoadDoneFile(path string) (map[string]bool, []Record, int64, error) {
-	data, err := os.ReadFile(path)
+	f, err := os.Open(path)
 	if os.IsNotExist(err) {
 		return map[string]bool{}, nil, 0, nil
 	}
 	if err != nil {
 		return nil, nil, 0, fmt.Errorf("campaign: reading results: %w", err)
 	}
-	valid := validPrefixLen(data)
-	done, recs, err := LoadDone(bytes.NewReader(data[:valid]))
-	if err != nil {
-		return nil, nil, 0, err
-	}
-	return done, recs, valid, nil
-}
-
-// validPrefixLen returns the length of the longest prefix of data made of
-// complete, decodable JSONL records.
-func validPrefixLen(data []byte) int64 {
-	var offset int64
-	for len(data) > 0 {
-		nl := bytes.IndexByte(data, '\n')
-		if nl < 0 {
-			break // torn final line
+	defer f.Close()
+	done := map[string]bool{}
+	var recs []Record
+	var validLen int64
+	ls := newLineScanner(f)
+	for {
+		line, terminated, err := ls.next()
+		if err != nil {
+			return nil, nil, 0, err
 		}
-		line := data[:nl]
+		if line == nil || !terminated {
+			return done, recs, validLen, nil
+		}
 		if len(line) > 0 {
 			var rec Record
 			if err := json.Unmarshal(line, &rec); err != nil {
-				break
+				// Torn or malformed tail: keep the valid prefix, the unit
+				// owning this line re-runs on resume.
+				return done, recs, validLen, nil
 			}
+			recs = append(recs, rec)
+			done[rec.Unit] = true
 		}
-		offset += int64(nl + 1)
-		data = data[nl+1:]
+		validLen = ls.offset
 	}
-	return offset
 }

@@ -1,0 +1,24 @@
+package campaign
+
+// Store is the deposit-side contract a campaign execution writes through:
+// the ordered JSONL Sink implements it, and so does the embedded
+// warehouse (internal/warehouse). Deposits arrive concurrently and out of
+// unit order from pool workers or shard merges; implementations must be
+// safe for concurrent use and idempotent — a duplicate deposit for a unit
+// already held (hedge losers, reassigned leases, resume replays) is
+// dropped and counted, never written twice.
+type Store interface {
+	// Deposit hands the store the records of one unit. nil records mark a
+	// unit satisfied by a resume: the store acknowledges it without
+	// writing anything.
+	Deposit(index int, recs []Record) error
+	// Flushed reports how many units have been deposited (or acknowledged
+	// as resumed) so far.
+	Flushed() int
+	// Written reports how many records have been written so far.
+	Written() int
+	// Deduped reports how many duplicate deposits have been dropped.
+	Deduped() int
+}
+
+var _ Store = (*Sink)(nil)

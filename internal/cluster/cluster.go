@@ -270,12 +270,13 @@ func (c *Coordinator) Probe(ctx context.Context) error {
 }
 
 // Run executes the spec across the fleet, streaming merged records into
-// the sink in unit-index order. done marks unit keys already present in a
+// the store — a JSONL Sink flushing in unit-index order, or a warehouse
+// depositing through its WAL. done marks unit keys already present in a
 // resumed artifact; those units are skipped (nil-deposited) exactly like a
 // local resume and never dispatched. Run returns when every unit has
 // merged, the context is cancelled, or a shard exhausts its attempt
 // budget.
-func (c *Coordinator) Run(ctx context.Context, spec *campaign.Spec, sink *campaign.Sink, done map[string]bool) (Stats, error) {
+func (c *Coordinator) Run(ctx context.Context, spec *campaign.Spec, sink campaign.Store, done map[string]bool) (Stats, error) {
 	if err := spec.Validate(); err != nil {
 		return Stats{}, err
 	}

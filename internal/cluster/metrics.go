@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"oraclesize/internal/warehouse"
 )
 
 // shardBuckets are the latency histogram bounds for shard dispatches, in
@@ -77,6 +79,7 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	var pending, inflight, done, carved, deduped int
 	var sizeMin, sizeMedian, sizeMax int
 	var perUnit map[string]float64
+	var whStats *warehouse.Stats
 	c.mu.Lock()
 	if st := c.cur; st != nil {
 		pending, inflight, done, carved = st.counts()
@@ -85,6 +88,10 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		perUnit = make(map[string]float64, len(c.workers))
 		for _, wk := range c.workers {
 			perUnit[wk.url] = st.sizer.perUnit(wk.url)
+		}
+		if wh, ok := st.sink.(*warehouse.Warehouse); ok {
+			s := wh.Stats()
+			whStats = &s
 		}
 	}
 	c.mu.Unlock()
@@ -122,6 +129,24 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "# TYPE oracleherd_worker_unit_seconds gauge\n")
 	for _, wk := range c.workers {
 		fmt.Fprintf(w, "oracleherd_worker_unit_seconds{worker=%q} %s\n", wk.url, formatFloat(perUnit[wk.url]))
+	}
+
+	if whStats != nil {
+		fmt.Fprintf(w, "# HELP oracleherd_warehouse_segments Committed segments in the merge warehouse.\n")
+		fmt.Fprintf(w, "# TYPE oracleherd_warehouse_segments gauge\n")
+		fmt.Fprintf(w, "oracleherd_warehouse_segments %d\n", whStats.Segments)
+		fmt.Fprintf(w, "# HELP oracleherd_warehouse_wal_bytes Bytes in the warehouse's uncompacted write-ahead logs.\n")
+		fmt.Fprintf(w, "# TYPE oracleherd_warehouse_wal_bytes gauge\n")
+		fmt.Fprintf(w, "oracleherd_warehouse_wal_bytes %d\n", whStats.WALBytes)
+		fmt.Fprintf(w, "# HELP oracleherd_warehouse_compactions_total Segment commits since the warehouse was opened.\n")
+		fmt.Fprintf(w, "# TYPE oracleherd_warehouse_compactions_total counter\n")
+		fmt.Fprintf(w, "oracleherd_warehouse_compactions_total %d\n", whStats.Compactions)
+		fmt.Fprintf(w, "# HELP oracleherd_warehouse_records Records resting in the warehouse (segments plus WAL).\n")
+		fmt.Fprintf(w, "# TYPE oracleherd_warehouse_records gauge\n")
+		fmt.Fprintf(w, "oracleherd_warehouse_records %d\n", whStats.Records)
+		fmt.Fprintf(w, "# HELP oracleherd_warehouse_index_hit_rate Fraction of query blocks skipped via the sparse index.\n")
+		fmt.Fprintf(w, "# TYPE oracleherd_warehouse_index_hit_rate gauge\n")
+		fmt.Fprintf(w, "oracleherd_warehouse_index_hit_rate %s\n", formatFloat(indexHitRate(whStats.IndexSkips, whStats.IndexReads)))
 	}
 
 	fmt.Fprintf(w, "# HELP oracleherd_worker_up Latest health-probe outcome per worker.\n")
@@ -178,4 +203,12 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 // formatFloat renders a float the Prometheus way.
 func formatFloat(f float64) string {
 	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// indexHitRate is skips/(skips+reads), 0 before the first query.
+func indexHitRate(skips, reads int64) float64 {
+	if skips+reads == 0 {
+		return 0
+	}
+	return float64(skips) / float64(skips+reads)
 }

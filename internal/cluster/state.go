@@ -88,7 +88,7 @@ type shardState struct {
 // the in-flight set, and completion accounting. Slot goroutines contend on
 // mu briefly per dispatch; the metrics renderer reads the same counters.
 type runState struct {
-	sink  *campaign.Sink
+	sink  campaign.Store
 	m     *metrics
 	clock Clock
 
@@ -117,7 +117,7 @@ type runState struct {
 	doneClosed bool
 }
 
-func newRunState(cfg *Config, m *metrics, workers int, totalUnits int, done []bool, sink *campaign.Sink) *runState {
+func newRunState(cfg *Config, m *metrics, workers int, totalUnits int, done []bool, sink campaign.Store) *runState {
 	cv := newCarver(totalUnits, done)
 	st := &runState{
 		sink:        sink,

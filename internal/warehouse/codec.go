@@ -1,0 +1,94 @@
+package warehouse
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// entry is the unit of storage: one deposited unit — its index in the
+// spec's compiled unit list, its stable unit key, and its records as the
+// exact JSON lines the campaign encoder produced (no trailing newline).
+// Keeping the canonical encoding byte-for-byte is what makes export
+// reproduce `campaign canon` output exactly: the warehouse never
+// re-interprets a record it did not have to.
+type entry struct {
+	index int64
+	key   string
+	lines [][]byte
+}
+
+// records counts the entry's record lines.
+func (e entry) records() int { return len(e.lines) }
+
+// Decode limits: a corrupt length prefix must fail decoding instead of
+// asking the allocator for the moon. Unit keys are short path-like
+// strings; one record line is a single JSON object.
+const (
+	maxKeyLen  = 1 << 12
+	maxLineLen = 1 << 24
+	maxRecords = 1 << 20
+)
+
+// appendEntry appends the entry's binary encoding to buf:
+//
+//	uvarint(index) uvarint(len(key)) key uvarint(n) { uvarint(len(line)) line }*n
+func appendEntry(buf []byte, e entry) []byte {
+	buf = binary.AppendUvarint(buf, uint64(e.index))
+	buf = binary.AppendUvarint(buf, uint64(len(e.key)))
+	buf = append(buf, e.key...)
+	buf = binary.AppendUvarint(buf, uint64(len(e.lines)))
+	for _, line := range e.lines {
+		buf = binary.AppendUvarint(buf, uint64(len(line)))
+		buf = append(buf, line...)
+	}
+	return buf
+}
+
+// decodeEntry decodes one entry from the front of data and returns the
+// remainder. The returned entry's key and lines are copies, safe to
+// retain after the caller reuses data.
+func decodeEntry(data []byte) (entry, []byte, error) {
+	index, n := binary.Uvarint(data)
+	if n <= 0 {
+		return entry{}, nil, fmt.Errorf("warehouse: truncated entry index")
+	}
+	data = data[n:]
+	keyLen, n := binary.Uvarint(data)
+	if n <= 0 || keyLen > maxKeyLen || uint64(len(data)-n) < keyLen {
+		return entry{}, nil, fmt.Errorf("warehouse: bad entry key length")
+	}
+	data = data[n:]
+	key := string(data[:keyLen])
+	data = data[keyLen:]
+	count, n := binary.Uvarint(data)
+	if n <= 0 || count > maxRecords {
+		return entry{}, nil, fmt.Errorf("warehouse: bad entry record count")
+	}
+	data = data[n:]
+	lines := make([][]byte, 0, count)
+	for i := uint64(0); i < count; i++ {
+		lineLen, n := binary.Uvarint(data)
+		if n <= 0 || lineLen > maxLineLen || uint64(len(data)-n) < lineLen {
+			return entry{}, nil, fmt.Errorf("warehouse: bad entry line length")
+		}
+		data = data[n:]
+		lines = append(lines, append([]byte(nil), data[:lineLen]...))
+		data = data[lineLen:]
+	}
+	return entry{index: int64(index), key: key, lines: lines}, data, nil
+}
+
+// decodeEntries decodes a concatenation of entries (one decompressed
+// segment block).
+func decodeEntries(data []byte) ([]entry, error) {
+	var entries []entry
+	for len(data) > 0 {
+		e, rest, err := decodeEntry(data)
+		if err != nil {
+			return nil, err
+		}
+		entries = append(entries, e)
+		data = rest
+	}
+	return entries, nil
+}

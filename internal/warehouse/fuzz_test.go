@@ -1,0 +1,157 @@
+package warehouse
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"oraclesize/internal/campaign"
+)
+
+// maxFuzzEntries bounds fuzzed unit counts so one input cannot build an
+// absurd segment.
+const maxFuzzEntries = 128
+
+// fuzzEntries derives a deterministic entry list from raw fuzz bytes:
+// every entry gets a distinct key and one-or-more valid record lines
+// whose indexed fields (family, n, task, scheme, seed) are driven by the
+// input so block summaries take many shapes.
+func fuzzEntries(n int, raw []byte) []entry {
+	at := func(i int) byte {
+		if len(raw) == 0 {
+			return 0
+		}
+		return raw[i%len(raw)]
+	}
+	entries := make([]entry, 0, n)
+	for i := 0; i < n; i++ {
+		rec := campaign.Record{
+			SpecHash: "fuzz",
+			Unit:     fmt.Sprintf("task/u%04d", i),
+			Kind:     "task",
+			Seed:     int64(at(2*i)) - 64,
+			Task:     fmt.Sprintf("t%d", at(i)%5),
+			Scheme:   fmt.Sprintf("s%d", at(i+1)%3),
+			Family:   fmt.Sprintf("f%d", at(i+2)%4),
+			N:        int(at(3*i)) + 1,
+			Complete: at(i)%2 == 0,
+		}
+		lines := make([][]byte, 0, int(at(i)%3)+1)
+		for j := 0; j <= int(at(i)%3); j++ {
+			rec.Trial = j
+			line, err := json.Marshal(rec)
+			if err != nil {
+				panic(err)
+			}
+			lines = append(lines, line)
+		}
+		entries = append(entries, entry{index: int64(i), key: rec.Unit, lines: lines})
+	}
+	return entries
+}
+
+// FuzzSegmentRoundTrip fuzzes the segment writer and reader as a pair:
+// any entry list written under any block size must load back exactly —
+// sidecar unit lists intact, every block passing its checksum, decoded
+// entries byte-identical — and every sparse block summary must admit the
+// records inside it.
+func FuzzSegmentRoundTrip(f *testing.F) {
+	f.Add(3, 128, []byte("seed"))
+	f.Add(0, 1, []byte{})
+	f.Add(1, 1<<20, []byte{0xff})
+	f.Add(64, 1, []byte("abcdefgh"))
+	f.Add(17, 300, []byte{1, 2, 3, 4, 5, 6, 7})
+	f.Fuzz(func(t *testing.T, n, blockSize int, raw []byte) {
+		if n < 0 {
+			n = -n
+		}
+		n %= maxFuzzEntries
+		if blockSize < 1 {
+			blockSize = 1
+		}
+		if blockSize > 1<<20 {
+			blockSize %= 1 << 20
+		}
+		entries := fuzzEntries(n, raw)
+
+		dir := t.TempDir()
+		idx, err := writeSegment(dir, "seg-000001", entries, blockSize)
+		if err != nil {
+			t.Fatalf("writeSegment: %v", err)
+		}
+		loaded, err := loadSegIndex(dir, "seg-000001")
+		if err != nil {
+			t.Fatalf("loadSegIndex: %v", err)
+		}
+		if loaded.Records != idx.Records || len(loaded.Blocks) != len(idx.Blocks) {
+			t.Fatalf("sidecar mismatch: %d/%d records, %d/%d blocks",
+				loaded.Records, idx.Records, len(loaded.Blocks), len(idx.Blocks))
+		}
+		if len(loaded.UnitKeys) != len(entries) {
+			t.Fatalf("sidecar holds %d unit keys, want %d", len(loaded.UnitKeys), len(entries))
+		}
+		for i, e := range entries {
+			if loaded.UnitKeys[i] != e.key || loaded.UnitIndexes[i] != e.index {
+				t.Fatalf("unit %d: sidecar (%s,%d), want (%s,%d)",
+					i, loaded.UnitKeys[i], loaded.UnitIndexes[i], e.key, e.index)
+			}
+		}
+
+		seg, err := os.Open(segPath(dir, "seg-000001"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer seg.Close()
+		if err := checkMagic(seg); err != nil {
+			t.Fatal(err)
+		}
+		var got []entry
+		for _, bi := range loaded.Blocks {
+			blockEntries, err := readBlock(seg, bi)
+			if err != nil {
+				t.Fatalf("readBlock: %v", err)
+			}
+			// The sparse summary must admit every record it covers: a
+			// query for that record's own fields cannot skip this block.
+			n := 0
+			for _, e := range blockEntries {
+				for _, line := range e.lines {
+					var rec campaign.Record
+					if err := json.Unmarshal(line, &rec); err != nil {
+						t.Fatalf("stored line not JSON: %v", err)
+					}
+					q := Query{
+						Kind: rec.Kind, Task: rec.Task, Scheme: rec.Scheme,
+						Family: rec.Family, N: rec.N, NSet: true,
+						Seed: rec.Seed, SeedSet: true,
+					}
+					if !q.admitsBlock(bi) {
+						t.Fatalf("block summary excludes its own record %s", rec.Unit)
+					}
+					n++
+				}
+			}
+			if n != bi.Records {
+				t.Fatalf("block holds %d records, sidecar says %d", n, bi.Records)
+			}
+			got = append(got, blockEntries...)
+		}
+		if len(got) != len(entries) {
+			t.Fatalf("round trip lost entries: %d, want %d", len(got), len(entries))
+		}
+		for i, e := range entries {
+			g := got[i]
+			if g.index != e.index || g.key != e.key || len(g.lines) != len(e.lines) {
+				t.Fatalf("entry %d differs: (%d,%s,%d lines) vs (%d,%s,%d lines)",
+					i, g.index, g.key, len(g.lines), e.index, e.key, len(e.lines))
+			}
+			for j := range e.lines {
+				if !bytes.Equal(g.lines[j], e.lines[j]) {
+					t.Fatalf("entry %d line %d differs", i, j)
+				}
+			}
+		}
+	})
+}

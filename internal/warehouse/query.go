@@ -1,0 +1,208 @@
+package warehouse
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"slices"
+
+	"oraclesize/internal/campaign"
+)
+
+// Query is a conjunctive filter over the indexed record dimensions.
+// Zero-valued fields match everything; NSet/SeedSet distinguish "any"
+// from an explicit zero. Blocks whose sparse index proves no record can
+// match are skipped without decompression.
+type Query struct {
+	Kind    string
+	Task    string
+	Scheme  string
+	Family  string
+	Unit    string
+	N       int
+	NSet    bool
+	Seed    int64
+	SeedSet bool
+}
+
+// matches reports whether one record satisfies the filter.
+func (q Query) matches(r campaign.Record) bool {
+	if q.Kind != "" && r.Kind != q.Kind {
+		return false
+	}
+	if q.Task != "" && r.Task != q.Task {
+		return false
+	}
+	if q.Scheme != "" && r.Scheme != q.Scheme {
+		return false
+	}
+	if q.Family != "" && r.Family != q.Family {
+		return false
+	}
+	if q.Unit != "" && r.Unit != q.Unit {
+		return false
+	}
+	if q.NSet && r.N != q.N {
+		return false
+	}
+	if q.SeedSet && r.Seed != q.Seed {
+		return false
+	}
+	return true
+}
+
+// admitsBlock reports whether the block's sparse summary leaves room for
+// a match; false means the whole block is skipped unread.
+func (q Query) admitsBlock(b blockIndex) bool {
+	if q.Kind != "" && len(b.Kinds) > 0 && !slices.Contains(b.Kinds, q.Kind) {
+		return false
+	}
+	if q.Task != "" && len(b.Tasks) > 0 && !slices.Contains(b.Tasks, q.Task) {
+		return false
+	}
+	if q.Scheme != "" && len(b.Schemes) > 0 && !slices.Contains(b.Schemes, q.Scheme) {
+		return false
+	}
+	if q.Family != "" && len(b.Families) > 0 && !slices.Contains(b.Families, q.Family) {
+		return false
+	}
+	if q.NSet && (q.N < b.MinN || q.N > b.MaxN) {
+		return false
+	}
+	if q.SeedSet && (q.Seed < b.MinSeed || q.Seed > b.MaxSeed) {
+		return false
+	}
+	return true
+}
+
+// zero is the match-everything query Scan uses.
+var zeroQuery Query
+
+// Scan streams every record in the store — committed segments in
+// manifest order, then the uncompacted WAL tail — through fn. The
+// per-store order is deterministic for a fixed segment layout but not
+// canonical; callers that need canonical order (Export) sort.
+func (w *Warehouse) Scan(fn func(campaign.Record) error) error {
+	return w.Query(zeroQuery, fn)
+}
+
+// Query streams every record matching q through fn, pruning segment
+// blocks via the sparse index and counting each decision in Stats
+// (IndexSkips vs IndexReads).
+func (w *Warehouse) Query(q Query, fn func(campaign.Record) error) error {
+	w.mu.Lock()
+	segs := append([]*segIndex(nil), w.segs...)
+	// Entry slices are append-only and entries immutable once deposited,
+	// so snapshotting the slice headers under the lock is enough.
+	var tail [][]entry
+	for _, fw := range w.frozen {
+		tail = append(tail, fw.entries)
+	}
+	tail = append(tail, w.mem)
+	w.mu.Unlock()
+
+	for _, idx := range segs {
+		if err := w.querySegment(idx, q, fn); err != nil {
+			return err
+		}
+	}
+	for _, entries := range tail {
+		for _, e := range entries {
+			if err := emitMatches(e, q, fn); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// querySegment scans one segment, skipping blocks the index rules out.
+func (w *Warehouse) querySegment(idx *segIndex, q Query, fn func(campaign.Record) error) error {
+	var f *os.File
+	defer func() {
+		if f != nil {
+			f.Close()
+		}
+	}()
+	for _, bi := range idx.Blocks {
+		if !q.admitsBlock(bi) {
+			w.idxSkips.Add(1)
+			continue
+		}
+		w.idxReads.Add(1)
+		if f == nil {
+			var err error
+			if f, err = os.Open(segPath(w.dir, idx.Name)); err != nil {
+				return fmt.Errorf("warehouse: %w", err)
+			}
+			if err := checkMagic(f); err != nil {
+				return err
+			}
+		}
+		entries, err := readBlock(f, bi)
+		if err != nil {
+			return fmt.Errorf("warehouse: segment %s: %w", idx.Name, err)
+		}
+		for _, e := range entries {
+			if err := emitMatches(e, q, fn); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// emitMatches decodes an entry's lines and feeds the matching records to
+// fn.
+func emitMatches(e entry, q Query, fn func(campaign.Record) error) error {
+	for _, line := range e.lines {
+		var rec campaign.Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return fmt.Errorf("warehouse: unit %s holds a malformed record: %w", e.key, err)
+		}
+		if !q.matches(rec) {
+			continue
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Records returns every stored record.
+func (w *Warehouse) Records() ([]campaign.Record, error) {
+	var recs []campaign.Record
+	err := w.Scan(func(r campaign.Record) error {
+		recs = append(recs, r)
+		return nil
+	})
+	return recs, err
+}
+
+// Export writes the store's full contents as canonical JSONL — timing
+// stripped, records sorted by (unit key, row) — byte-identical to
+// `campaign canon` over the flat JSONL artifact of the same run. This is
+// the warehouse's compatibility contract with every existing tool.
+func (w *Warehouse) Export(out io.Writer) error {
+	recs, err := w.Records()
+	if err != nil {
+		return err
+	}
+	return campaign.EncodeRecords(out, campaign.Canonicalize(recs))
+}
+
+// QueryRecords collects the matches of q in canonical order — the
+// deterministic form the query CLI prints, independent of segment
+// layout and compaction history.
+func (w *Warehouse) QueryRecords(q Query) ([]campaign.Record, error) {
+	var recs []campaign.Record
+	if err := w.Query(q, func(r campaign.Record) error {
+		recs = append(recs, r)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return campaign.Canonicalize(recs), nil
+}

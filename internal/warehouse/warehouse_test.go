@@ -1,0 +1,392 @@
+package warehouse
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"oraclesize/internal/campaign"
+)
+
+// deposit is one captured Deposit call: the unit index and records a
+// campaign execution handed the store.
+type deposit struct {
+	index int
+	recs  []campaign.Record
+}
+
+// captureStore records the deposit sequence of a campaign run so tests
+// can replay the exact same deposits into warehouses under different
+// configurations.
+type captureStore struct {
+	mu       sync.Mutex
+	deposits []deposit
+	flushed  int
+	written  int
+}
+
+func (c *captureStore) Deposit(index int, recs []campaign.Record) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.flushed++
+	if len(recs) == 0 {
+		return nil
+	}
+	c.deposits = append(c.deposits, deposit{index: index, recs: append([]campaign.Record(nil), recs...)})
+	c.written += len(recs)
+	return nil
+}
+
+func (c *captureStore) Flushed() int { return c.flushed }
+func (c *captureStore) Written() int { return c.written }
+func (c *captureStore) Deduped() int { return 0 }
+
+// quickDeposits runs the built-in quick spec once and returns the
+// deposit sequence plus the flat record list.
+func quickDeposits(t testing.TB) ([]deposit, []campaign.Record) {
+	t.Helper()
+	spec := campaign.QuickSpec()
+	var cap captureStore
+	if _, err := campaign.Run(spec, &cap, campaign.RunOptions{Workers: 4}); err != nil {
+		t.Fatalf("quick run: %v", err)
+	}
+	var recs []campaign.Record
+	for _, d := range cap.deposits {
+		recs = append(recs, d.recs...)
+	}
+	return cap.deposits, recs
+}
+
+// canonBytes renders records exactly as `campaign canon` would.
+func canonBytes(t testing.TB, recs []campaign.Record) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := campaign.EncodeRecords(&buf, campaign.Canonicalize(recs)); err != nil {
+		t.Fatalf("encoding canon reference: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// exportBytes runs Export into a buffer.
+func exportBytes(t testing.TB, w *Warehouse) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := w.Export(&buf); err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// mustOpen opens a warehouse or fails the test.
+func mustOpen(t testing.TB, dir string, opts Options) *Warehouse {
+	t.Helper()
+	w, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("open %s: %v", dir, err)
+	}
+	return w
+}
+
+func depositAll(t testing.TB, w *Warehouse, deposits []deposit) {
+	t.Helper()
+	for _, d := range deposits {
+		if err := w.Deposit(d.index, d.recs); err != nil {
+			t.Fatalf("deposit %d (%s): %v", d.index, d.recs[0].Unit, err)
+		}
+	}
+}
+
+// TestExportMatchesCanon is the compatibility contract: export of a
+// warehouse is byte-identical to `campaign canon` of the flat JSONL the
+// same run would have produced — before compaction, after compaction,
+// and after a reopen.
+func TestExportMatchesCanon(t *testing.T) {
+	deposits, recs := quickDeposits(t)
+	want := canonBytes(t, recs)
+
+	dir := t.TempDir()
+	w := mustOpen(t, dir, Options{CompactAt: -1})
+	depositAll(t, w, deposits)
+	if got := exportBytes(t, w); !bytes.Equal(got, want) {
+		t.Errorf("export from WAL differs from canon\ngot %d bytes, want %d", len(got), len(want))
+	}
+
+	if err := w.Compact(); err != nil {
+		t.Fatalf("compact: %v", err)
+	}
+	if got := exportBytes(t, w); !bytes.Equal(got, want) {
+		t.Error("export after compaction differs from canon")
+	}
+	if s := w.Stats(); s.Segments == 0 || s.WALRecords != 0 || s.SegmentRecords != len(recs) {
+		t.Errorf("stats after compact: %+v", s)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	w2 := mustOpen(t, dir, Options{})
+	defer w2.Close()
+	if got := exportBytes(t, w2); !bytes.Equal(got, want) {
+		t.Error("export after reopen differs from canon")
+	}
+	if w2.Units() != len(deposits) {
+		t.Errorf("reopen holds %d units, want %d", w2.Units(), len(deposits))
+	}
+}
+
+// TestDepositIdempotence checks the merge contract: duplicate unit keys
+// are dropped and counted, empty deposits only acknowledge resume.
+func TestDepositIdempotence(t *testing.T) {
+	deposits, recs := quickDeposits(t)
+	w := mustOpen(t, t.TempDir(), Options{CompactAt: -1})
+	defer w.Close()
+	depositAll(t, w, deposits)
+
+	// A hedge loser redelivers the same unit.
+	if err := w.Deposit(deposits[0].index, deposits[0].recs); err != nil {
+		t.Fatalf("duplicate deposit: %v", err)
+	}
+	if w.Deduped() != 1 {
+		t.Errorf("Deduped = %d, want 1", w.Deduped())
+	}
+	if w.Written() != len(recs) {
+		t.Errorf("Written = %d, want %d (duplicate must not count)", w.Written(), len(recs))
+	}
+
+	// A resume acknowledgment carries no records.
+	before := w.Flushed()
+	if err := w.Deposit(999, nil); err != nil {
+		t.Fatalf("ack deposit: %v", err)
+	}
+	if w.Flushed() != before+1 {
+		t.Errorf("Flushed = %d after ack, want %d", w.Flushed(), before+1)
+	}
+	if w.Units() != len(deposits) {
+		t.Errorf("Units = %d, want %d", w.Units(), len(deposits))
+	}
+	if got := exportBytes(t, w); !bytes.Equal(got, canonBytes(t, recs)) {
+		t.Error("export after duplicate deposit differs from canon")
+	}
+}
+
+// TestReopenResume checks the resume path: a half-filled warehouse
+// reports exactly its unit keys via the index, duplicates replayed into
+// it are dropped, and completing the missing units converges on the full
+// canonical artifact.
+func TestReopenResume(t *testing.T) {
+	deposits, recs := quickDeposits(t)
+	half := len(deposits) / 2
+	dir := t.TempDir()
+
+	w := mustOpen(t, dir, Options{CompactAt: -1})
+	depositAll(t, w, deposits[:half])
+	if err := w.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	w2 := mustOpen(t, dir, Options{})
+	defer w2.Close()
+	seen := w2.SeenUnits()
+	if len(seen) != half {
+		t.Fatalf("SeenUnits holds %d keys, want %d", len(seen), half)
+	}
+	for _, d := range deposits[:half] {
+		if !seen[d.recs[0].Unit] {
+			t.Errorf("unit %s missing from SeenUnits", d.recs[0].Unit)
+		}
+		if !w2.SeenIndex(d.index) {
+			t.Errorf("unit index %d missing from the bitmap", d.index)
+		}
+	}
+	for _, d := range deposits[half:] {
+		if seen[d.recs[0].Unit] {
+			t.Errorf("unit %s unexpectedly in SeenUnits", d.recs[0].Unit)
+		}
+		if w2.SeenIndex(d.index) {
+			t.Errorf("unit index %d unexpectedly set", d.index)
+		}
+	}
+	// Replay everything, as a resumed cluster run would: done units drop.
+	depositAll(t, w2, deposits)
+	if w2.Deduped() != half {
+		t.Errorf("Deduped = %d, want %d", w2.Deduped(), half)
+	}
+	if got := exportBytes(t, w2); !bytes.Equal(got, canonBytes(t, recs)) {
+		t.Error("export after resume differs from canon")
+	}
+}
+
+// TestBackgroundCompaction forces the WAL threshold low enough that
+// rotation and background segment builds interleave with deposits, then
+// checks nothing was lost or duplicated.
+func TestBackgroundCompaction(t *testing.T) {
+	deposits, recs := quickDeposits(t)
+	dir := t.TempDir()
+	w := mustOpen(t, dir, Options{CompactAt: 1, BlockSize: 1 << 10})
+	depositAll(t, w, deposits)
+	if err := w.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	w2 := mustOpen(t, dir, Options{})
+	defer w2.Close()
+	s := w2.Stats()
+	if s.Segments == 0 {
+		t.Fatalf("no segments committed under CompactAt=1: %+v", s)
+	}
+	if s.Units != len(deposits) || s.Records != len(recs) {
+		t.Errorf("stats = %+v, want %d units / %d records", s, len(deposits), len(recs))
+	}
+	if got := exportBytes(t, w2); !bytes.Equal(got, canonBytes(t, recs)) {
+		t.Error("export after background compaction differs from canon")
+	}
+}
+
+// TestSpecHashPin mirrors the JSONL refusing-to-resume check: a
+// warehouse created for one spec refuses to open for another.
+func TestSpecHashPin(t *testing.T) {
+	dir := t.TempDir()
+	w := mustOpen(t, dir, Options{SpecHash: "aaaa"})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{SpecHash: "bbbb"}); err == nil || !strings.Contains(err.Error(), "refusing to open") {
+		t.Errorf("foreign spec hash accepted: %v", err)
+	}
+	// Unpinned and matching opens both work.
+	for _, hash := range []string{"", "aaaa"} {
+		w, err := Open(dir, Options{SpecHash: hash})
+		if err != nil {
+			t.Fatalf("open with hash %q: %v", hash, err)
+		}
+		if got := w.SpecHash(); got != "aaaa" {
+			t.Errorf("SpecHash = %q, want aaaa", got)
+		}
+		w.Close()
+	}
+}
+
+// TestQueryFiltersAndPrunes checks that filtered queries return exactly
+// the matching records in canonical order, and that the sparse index
+// actually skips blocks it can rule out.
+func TestQueryFiltersAndPrunes(t *testing.T) {
+	deposits, recs := quickDeposits(t)
+	dir := t.TempDir()
+	w := mustOpen(t, dir, Options{CompactAt: -1, BlockSize: 512})
+	depositAll(t, w, deposits)
+	if err := w.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen for clean index counters.
+	w2 := mustOpen(t, dir, Options{})
+	defer w2.Close()
+
+	filters := []struct {
+		name string
+		q    Query
+		keep func(campaign.Record) bool
+	}{
+		{"task", Query{Task: "wakeup"}, func(r campaign.Record) bool { return r.Task == "wakeup" }},
+		{"family", Query{Family: "path"}, func(r campaign.Record) bool { return r.Family == "path" }},
+		{"kind", Query{Kind: "experiment"}, func(r campaign.Record) bool { return r.Kind == "experiment" }},
+		{"n", Query{N: 16, NSet: true}, func(r campaign.Record) bool { return r.N == 16 }},
+	}
+	for _, f := range filters {
+		got, err := w2.QueryRecords(f.q)
+		if err != nil {
+			t.Fatalf("query %s: %v", f.name, err)
+		}
+		var want []campaign.Record
+		for _, r := range recs {
+			if f.keep(r) {
+				want = append(want, r)
+			}
+		}
+		want = campaign.Canonicalize(want)
+		if len(got) != len(want) {
+			t.Errorf("query %s matched %d records, want %d", f.name, len(got), len(want))
+			continue
+		}
+		gb, wb := canonBytes(t, got), canonBytes(t, want)
+		if !bytes.Equal(gb, wb) {
+			t.Errorf("query %s returned different records", f.name)
+		}
+	}
+
+	s := w2.Stats()
+	if s.IndexReads == 0 {
+		t.Fatalf("queries decompressed no blocks: %+v", s)
+	}
+	if s.IndexSkips == 0 {
+		t.Errorf("sparse index skipped no blocks across selective queries: %+v", s)
+	}
+	// A query for a task that does not exist should touch no block at all.
+	before := w2.Stats()
+	if got, err := w2.QueryRecords(Query{Task: "no-such-task"}); err != nil || len(got) != 0 {
+		t.Fatalf("impossible query: %d records, err %v", len(got), err)
+	}
+	after := w2.Stats()
+	if after.IndexReads != before.IndexReads {
+		t.Errorf("impossible query decompressed %d blocks", after.IndexReads-before.IndexReads)
+	}
+	if after.IndexSkips == before.IndexSkips {
+		t.Error("impossible query skipped no blocks")
+	}
+}
+
+// TestFreshRunRefusal mirrors the CLI guard: an importing store keeps
+// counting units across synthetic ordinal indexes that collide with
+// existing ones — the key set, not the index, is the dedup authority.
+func TestImportOrdinalAliasing(t *testing.T) {
+	_, recs := quickDeposits(t)
+	w := mustOpen(t, t.TempDir(), Options{CompactAt: -1})
+	defer w.Close()
+	// Two different units deposited under the same ordinal index, as an
+	// import across files could produce.
+	a := []campaign.Record{recs[0]}
+	b := []campaign.Record{recs[len(recs)-1]}
+	if a[0].Unit == b[0].Unit {
+		t.Skip("quick spec produced identical first/last units")
+	}
+	if err := w.Deposit(0, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Deposit(0, b); err != nil {
+		t.Fatal(err)
+	}
+	if w.Units() != 2 {
+		t.Errorf("Units = %d, want 2 — index collision must not alias distinct keys", w.Units())
+	}
+	if w.Deduped() != 0 {
+		t.Errorf("Deduped = %d, want 0", w.Deduped())
+	}
+}
+
+// TestScanOrderDeterministic: two identical deposit histories produce
+// identical Scan streams.
+func TestScanOrderDeterministic(t *testing.T) {
+	deposits, _ := quickDeposits(t)
+	stream := func() string {
+		w := mustOpen(t, t.TempDir(), Options{CompactAt: -1, BlockSize: 512})
+		defer w.Close()
+		depositAll(t, w, deposits)
+		if err := w.Compact(); err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		if err := w.Scan(func(r campaign.Record) error {
+			fmt.Fprintf(&sb, "%s/%d\n", r.Unit, r.Row)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	if a, b := stream(), stream(); a != b {
+		t.Error("identical histories scanned in different orders")
+	}
+}
