@@ -14,6 +14,10 @@
 // deadline (expiry: 504), and request sizes are capped. On SIGINT/SIGTERM
 // the daemon stops accepting connections, drains in-flight requests up to
 // -drain, then waits for running campaigns before exiting.
+//
+// With -pprof addr, net/http/pprof is served on a separate listener (keep
+// it on localhost) so serve-path profiles can be captured under load
+// without exposing the profile endpoints on the service port.
 package main
 
 import (
@@ -23,6 +27,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -49,21 +54,50 @@ func run(args []string, out, errOut io.Writer) int {
 		cache      = fs.Int("cache", 128, "instance cache capacity (entries)")
 		artifact   = fs.String("artifacts", "", "campaign artifact directory (default: OS temp dir)")
 		shardUnits = fs.Int("max-shard-units", 1<<10, "largest unit batch accepted by POST /v1/shard")
+		batchMax   = fs.Int("batch-max", 0, "max queued requests one worker drains per wakeup (0 = default 16)")
+		cacheSh    = fs.Int("cache-shards", 0, "instance cache shard count (0 = default 8)")
+		metricsSh  = fs.Int("metrics-shards", 0, "latency histogram shard count (0 = default 8)")
+		respCache  = fs.Int("response-cache", 0, "response cache capacity in entries (0 = default 4096, negative disables)")
+		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
 	svc := service.New(service.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		RequestTimeout: *timeout,
-		MaxNodes:       *maxNodes,
-		MaxEdges:       *maxEdges,
-		CacheCapacity:  *cache,
-		ArtifactDir:    *artifact,
-		MaxShardUnits:  *shardUnits,
+		Workers:               *workers,
+		QueueDepth:            *queue,
+		RequestTimeout:        *timeout,
+		MaxNodes:              *maxNodes,
+		MaxEdges:              *maxEdges,
+		CacheCapacity:         *cache,
+		ArtifactDir:           *artifact,
+		MaxShardUnits:         *shardUnits,
+		BatchMax:              *batchMax,
+		CacheShards:           *cacheSh,
+		MetricsShards:         *metricsSh,
+		ResponseCacheCapacity: *respCache,
 	})
+
+	if *pprofAddr != "" {
+		// Profiles ride a separate listener so they can stay bound to
+		// localhost while the service port is public, and so profile
+		// scrapes never compete with serving for the main mux.
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", pprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pprofSrv := &http.Server{Addr: *pprofAddr, Handler: pm, ReadHeaderTimeout: 5 * time.Second}
+		go func() {
+			if err := pprofSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintf(errOut, "oracled: pprof listener: %v\n", err)
+			}
+		}()
+		defer pprofSrv.Close()
+		fmt.Fprintf(out, "oracled pprof on %s\n", *pprofAddr)
+	}
 
 	httpSrv := &http.Server{
 		Addr:              *addr,

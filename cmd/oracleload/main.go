@@ -7,6 +7,7 @@
 //	oracleload [-url http://host:8080] [-c 8] [-d 5s] [-task broadcast]
 //	           [-family random] [-n 256] [-seeds 8] [-label current]
 //	           [-o BENCH_serve.json]
+//	oracleload -rate 20000 [...same flags]
 //	oracleload -shard [-shard-units 8] [-scheme flooding] [...same flags]
 //	oracleload -shard -shard-target 50ms [-shard-min 1] [-shard-max 64]
 //
@@ -15,6 +16,15 @@
 // switches the request stream from single-simulation /v1/run calls to the
 // batch /v1/shard endpoint oracleherd drives, so the serve trajectory
 // tracks both paths.
+//
+// With -rate, oracleload switches from closed-loop to open-loop arrivals: a
+// fixed-interval arrival clock issues requests at the offered rate whether
+// or not earlier responses have come back, the way real traffic does. The
+// entry records offered vs completed vs shed, so overload behavior is
+// measured instead of inferred — a closed-loop client slows down with the
+// server and never observes shedding. -min-throughput turns either mode
+// into a gate: the run fails if completed throughput lands below the floor
+// (CI uses it to hold the serve path at or above the recorded baseline).
 //
 // With -shard-target, each client sizes its shard requests the way the
 // oracleherd coordinator does: an EWMA of observed per-unit latency picks
@@ -55,11 +65,14 @@ type Entry struct {
 	Go     string `json:"go"`
 	GOOS   string `json:"goos"`
 	GOARCH string `json:"goarch"`
-	// Mode distinguishes the request stream: "" or "run" is /v1/run,
-	// "shard" is /v1/shard with ShardUnits units per request. Under
-	// adaptive sizing (-shard-target) ShardUnits is 0 and the chosen
-	// per-request sizes are summarized by ShardUnitsMin/Median/Max.
+	// Mode distinguishes the request stream: "" or "run" is closed-loop
+	// /v1/run, "open-loop" is /v1/run under a fixed-interval arrival clock
+	// at OfferedPerSec, "shard" is /v1/shard with ShardUnits units per
+	// request. Under adaptive sizing (-shard-target) ShardUnits is 0 and
+	// the chosen per-request sizes are summarized by
+	// ShardUnitsMin/Median/Max.
 	Mode             string  `json:"mode,omitempty"`
+	OfferedPerSec    float64 `json:"offered_per_sec,omitempty"`
 	ShardUnits       int     `json:"shard_units,omitempty"`
 	ShardTargetSec   float64 `json:"shard_target_sec,omitempty"`
 	ShardUnitsMin    int     `json:"shard_units_min,omitempty"`
@@ -107,12 +120,24 @@ func run(args []string, out, errOut io.Writer) int {
 		shardMin    = fs.Int("shard-min", 1, "adaptive sizing floor (with -shard-target)")
 		shardMax    = fs.Int("shard-max", 64, "adaptive sizing ceiling (with -shard-target)")
 		scheme      = fs.String("scheme", "flooding", "scheme for shard-mode specs")
+		rate        = fs.Float64("rate", 0, "open-loop offered arrival rate in req/s (0: closed-loop)")
+		minTput     = fs.Float64("min-throughput", 0, "fail (exit 1) if completed req/s lands below this floor")
+		noRespCache = fs.Bool("no-response-cache", false, "disable the in-process server's response cache (every request simulates; with no -url only)")
+		maxInflight = fs.Int("max-inflight", 512, "open-loop cap on outstanding requests; arrivals beyond it count as errors (with -rate)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if *clients < 1 || *seeds < 1 {
 		fmt.Fprintln(errOut, "oracleload: -c and -seeds must be >= 1")
+		return 2
+	}
+	if *rate > 0 && *shard {
+		fmt.Fprintln(errOut, "oracleload: -rate (open-loop) and -shard are mutually exclusive")
+		return 2
+	}
+	if *rate > 0 && *maxInflight < 1 {
+		fmt.Fprintln(errOut, "oracleload: -max-inflight must be >= 1")
 		return 2
 	}
 	if *shard && *shardUnits < 1 {
@@ -128,7 +153,11 @@ func run(args []string, out, errOut io.Writer) int {
 	url := *baseURL
 	httpClient := http.DefaultClient
 	if url == "" {
-		svc := service.New(service.Config{})
+		cfg := service.Config{}
+		if *noRespCache {
+			cfg.ResponseCacheCapacity = -1
+		}
+		svc := service.New(cfg)
 		defer svc.Stop()
 		ts := httptest.NewServer(svc.Handler())
 		defer ts.Close()
@@ -220,73 +249,131 @@ func run(args []string, out, errOut io.Writer) int {
 		lats     []time.Duration
 		sizes    []int
 	)
-	deadline := time.Now().Add(*dur)
-	var wg sync.WaitGroup
-	wg.Add(*clients)
-	for c := 0; c < *clients; c++ {
-		c := c
-		go func() {
-			defer wg.Done()
-			local := make([]time.Duration, 0, 4096)
-			var localSizes []int
-			// Per-client latency EWMA, same controller shape as oracleherd:
-			// first request probes at the floor, then each response steers
-			// the next size toward the target service time.
-			const alpha = 0.4
-			ewma := 0.0 // seconds per unit; 0 = no sample yet
-			size := *shardMin
-			for i := 0; time.Now().Before(deadline); i++ {
-				body := bodies[(c+i)%len(bodies)]
-				if adaptive {
-					var err error
-					body, err = json.Marshal(shardReq{Spec: specs[(c+i)%len(specs)], Start: 0, End: size})
+	var offered int64
+	if *rate > 0 {
+		// Open loop: arrivals come off a fixed-interval clock regardless of
+		// how earlier requests are faring — the regime where shedding is
+		// observable. A late clock catches up in a burst, preserving the
+		// offered average; arrivals that cannot even be issued because the
+		// client is at its -max-inflight cap count as errors.
+		interval := time.Duration(float64(time.Second) / *rate)
+		if interval <= 0 {
+			interval = time.Nanosecond
+		}
+		sem := make(chan struct{}, *maxInflight)
+		var owg sync.WaitGroup
+		start := time.Now()
+		for i := 0; ; i++ {
+			next := start.Add(time.Duration(i) * interval)
+			if !next.Before(start.Add(*dur)) {
+				break
+			}
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			}
+			offered++
+			body := bodies[i%len(bodies)]
+			select {
+			case sem <- struct{}{}:
+				owg.Add(1)
+				go func(b []byte) {
+					defer owg.Done()
+					defer func() { <-sem }()
+					st := time.Now()
+					resp, err := httpClient.Post(endpoint, "application/json", bytes.NewReader(b))
+					elapsed := time.Since(st)
+					requests.Add(1)
+					if err != nil {
+						errs.Add(1)
+						return
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					switch resp.StatusCode {
+					case http.StatusOK:
+						latMu.Lock()
+						lats = append(lats, elapsed)
+						latMu.Unlock()
+					case http.StatusServiceUnavailable:
+						shed.Add(1)
+					default:
+						errs.Add(1)
+					}
+				}(body)
+			default:
+				errs.Add(1)
+			}
+		}
+		owg.Wait()
+	} else {
+		deadline := time.Now().Add(*dur)
+		var wg sync.WaitGroup
+		wg.Add(*clients)
+		for c := 0; c < *clients; c++ {
+			c := c
+			go func() {
+				defer wg.Done()
+				local := make([]time.Duration, 0, 4096)
+				var localSizes []int
+				// Per-client latency EWMA, same controller shape as oracleherd:
+				// first request probes at the floor, then each response steers
+				// the next size toward the target service time.
+				const alpha = 0.4
+				ewma := 0.0 // seconds per unit; 0 = no sample yet
+				size := *shardMin
+				for i := 0; time.Now().Before(deadline); i++ {
+					body := bodies[(c+i)%len(bodies)]
+					if adaptive {
+						var err error
+						body, err = json.Marshal(shardReq{Spec: specs[(c+i)%len(specs)], Start: 0, End: size})
+						if err != nil {
+							errs.Add(1)
+							continue
+						}
+						localSizes = append(localSizes, size)
+					}
+					start := time.Now()
+					resp, err := httpClient.Post(endpoint, "application/json", bytes.NewReader(body))
+					elapsed := time.Since(start)
+					requests.Add(1)
 					if err != nil {
 						errs.Add(1)
 						continue
 					}
-					localSizes = append(localSizes, size)
-				}
-				start := time.Now()
-				resp, err := httpClient.Post(endpoint, "application/json", bytes.NewReader(body))
-				elapsed := time.Since(start)
-				requests.Add(1)
-				if err != nil {
-					errs.Add(1)
-					continue
-				}
-				io.Copy(io.Discard, resp.Body)
-				resp.Body.Close()
-				switch {
-				case resp.StatusCode == http.StatusOK:
-					local = append(local, elapsed)
-					if adaptive {
-						per := elapsed.Seconds() / float64(size)
-						if ewma == 0 {
-							ewma = per
-						} else {
-							ewma = alpha*per + (1-alpha)*ewma
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					switch {
+					case resp.StatusCode == http.StatusOK:
+						local = append(local, elapsed)
+						if adaptive {
+							per := elapsed.Seconds() / float64(size)
+							if ewma == 0 {
+								ewma = per
+							} else {
+								ewma = alpha*per + (1-alpha)*ewma
+							}
+							size = int(shardTarget.Seconds() / ewma)
+							if size < *shardMin {
+								size = *shardMin
+							}
+							if size > *shardMax {
+								size = *shardMax
+							}
 						}
-						size = int(shardTarget.Seconds() / ewma)
-						if size < *shardMin {
-							size = *shardMin
-						}
-						if size > *shardMax {
-							size = *shardMax
-						}
+					case resp.StatusCode == http.StatusServiceUnavailable:
+						shed.Add(1)
+					default:
+						errs.Add(1)
 					}
-				case resp.StatusCode == http.StatusServiceUnavailable:
-					shed.Add(1)
-				default:
-					errs.Add(1)
 				}
-			}
-			latMu.Lock()
-			lats = append(lats, local...)
-			sizes = append(sizes, localSizes...)
-			latMu.Unlock()
-		}()
+				latMu.Lock()
+				lats = append(lats, local...)
+				sizes = append(sizes, localSizes...)
+				latMu.Unlock()
+			}()
+		}
+		wg.Wait()
 	}
-	wg.Wait()
 
 	if len(lats) == 0 {
 		fmt.Fprintln(errOut, "oracleload: no successful requests")
@@ -309,6 +396,9 @@ func run(args []string, out, errOut io.Writer) int {
 		if !adaptive {
 			units = *shardUnits
 		}
+	}
+	if *rate > 0 {
+		mode = "open-loop"
 	}
 	entry := Entry{
 		Label:       *label,
@@ -341,6 +431,11 @@ func run(args []string, out, errOut io.Writer) int {
 		entry.ShardUnitsMax = sizes[len(sizes)-1]
 		fmt.Fprintf(out, "adaptive shard sizes: min %d  median %d  max %d (target %s)\n",
 			entry.ShardUnitsMin, entry.ShardUnitsMedian, entry.ShardUnitsMax, *shardTarget)
+	}
+	if *rate > 0 {
+		entry.OfferedPerSec = *rate
+		fmt.Fprintf(out, "open-loop: offered %d arrivals (%.0f/s), completed %d, shed %d, errors %d\n",
+			offered, *rate, int64(len(lats)), entry.Shed, entry.Errors)
 	}
 
 	fmt.Fprintf(out, "%s: %d req in %s (%0.0f req/s ok), %d shed, %d errors\n",
@@ -375,5 +470,10 @@ func run(args []string, out, errOut io.Writer) int {
 		return 1
 	}
 	fmt.Fprintf(out, "wrote entry %q to %s (%d entries)\n", *label, *outPath, len(doc.Entries))
+	if *minTput > 0 && entry.Throughput < *minTput {
+		fmt.Fprintf(errOut, "oracleload: completed throughput %.0f req/s is below the %.0f req/s floor\n",
+			entry.Throughput, *minTput)
+		return 1
+	}
 	return 0
 }

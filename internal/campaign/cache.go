@@ -1,7 +1,6 @@
 package campaign
 
 import (
-	"fmt"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -22,34 +21,113 @@ import (
 // the capacity is exceeded. A unit that misses after eviction simply
 // regenerates the instance from its seed, so cache state never affects
 // results — only speed.
+//
+// The key space is partitioned by hash into independently locked shards so
+// concurrent lookups — the oracled serving path runs one per request —
+// do not serialize on a single mutex. Capacity is divided evenly across
+// shards and each shard evicts FIFO on its own; a sharded cache may
+// therefore evict an entry a single-shard cache of the same total capacity
+// would have kept (and vice versa), which by the regeneration contract
+// above is a speed difference, never a correctness one.
 type instanceCache struct {
+	shards []cacheShard
+	mask   uint64
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// instanceKey identifies one cached instance without string formatting:
+// the triple is the generation function's full input. The textual form
+// "instance/<family>/n<n>/s<seed>" used in logs corresponds 1:1.
+type instanceKey struct {
+	family string
+	n      int
+	seed   int64
+}
+
+// hash is FNV-1a over the key's fields, used for shard selection.
+func (k instanceKey) hash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(k.family); i++ {
+		h ^= uint64(k.family[i])
+		h *= prime64
+	}
+	h ^= uint64(k.n)
+	h *= prime64
+	h ^= uint64(k.seed)
+	h *= prime64
+	return h
+}
+
+// cacheShard is one independently locked slice of the key space. Eviction
+// order is tracked as order[head:]; evicting advances head instead of
+// re-slicing, and the dead prefix is periodically compacted in place so
+// the backing array stays bounded by ~2× the shard capacity (the old
+// order = order[1:] idiom pinned every appended backing array forever).
+type cacheShard struct {
 	mu      sync.Mutex
-	entries map[string]*instanceEntry
-	order   []string // insertion order, for FIFO eviction
+	entries map[instanceKey]*instanceEntry
+	order   []instanceKey
+	head    int
 	cap     int
-	hits    atomic.Int64
-	misses  atomic.Int64
 }
 
 func newInstanceCache(capacity int) *instanceCache {
+	return newShardedInstanceCache(capacity, 1)
+}
+
+// newShardedInstanceCache spreads capacity over the given shard count,
+// rounded up to a power of two and capped so every shard holds at least
+// one entry.
+func newShardedInstanceCache(capacity, shards int) *instanceCache {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &instanceCache{entries: make(map[string]*instanceEntry, capacity), cap: capacity}
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > capacity {
+		shards = capacity
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	per := (capacity + n - 1) / n
+	c := &instanceCache{shards: make([]cacheShard, n), mask: uint64(n - 1)}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[instanceKey]*instanceEntry, per)
+		c.shards[i].cap = per
+	}
+	return c
 }
 
 // instanceEntry is one cached instance. The graph is generated at most once
 // (workers that race on a fresh entry block on the Once); advice is
-// computed at most once per (oracle name, source) under the entry lock.
-// Both the graph and the advice map values are immutable after
-// construction, so concurrent units may share them freely.
+// computed at most once per (oracle name, source). The advice map is
+// copy-on-write: readers load it with a single atomic and never lock, and
+// the rare writer clones it under adviceMu. Both the graph and the advice
+// values are immutable after construction, so concurrent units may share
+// them freely.
 type instanceEntry struct {
 	genOnce sync.Once
 	g       *graph.Graph
 	genErr  error
 
-	mu     sync.Mutex
-	advice map[string]adviceResult
+	advice   atomic.Pointer[map[adviceKey]adviceResult]
+	adviceMu sync.Mutex // serializes advice writers
+}
+
+// adviceKey identifies one memoized advice computation. Oracles are
+// deterministic in (graph, source), so the pair fully identifies the
+// result; campaign units always use source 0, the serving path varies it.
+type adviceKey struct {
+	oracle string
+	source graph.NodeID
 }
 
 type adviceResult struct {
@@ -58,30 +136,37 @@ type adviceResult struct {
 }
 
 // lookup returns the entry stored under key, generating the graph on first
-// use from the given seed.
-func (c *instanceCache) lookup(key string, n int, seed int64, fam graphgen.Family) (*instanceEntry, error) {
-	c.mu.Lock()
-	e, ok := c.entries[key]
+// use from the key's seed.
+func (c *instanceCache) lookup(key instanceKey, fam graphgen.Family) (*instanceEntry, error) {
+	s := &c.shards[key.hash()&c.mask]
+	s.mu.Lock()
+	e, ok := s.entries[key]
 	if !ok {
-		e = &instanceEntry{advice: make(map[string]adviceResult)}
-		c.entries[key] = e
-		c.order = append(c.order, key)
-		if len(c.order) > c.cap {
+		e = &instanceEntry{}
+		s.entries[key] = e
+		s.order = append(s.order, key)
+		if len(s.order)-s.head > s.cap {
 			// Evicting an entry another worker still holds is safe: their
 			// pointer stays valid, the instance just stops being shared.
-			delete(c.entries, c.order[0])
-			c.order = c.order[1:]
+			delete(s.entries, s.order[s.head])
+			s.order[s.head] = instanceKey{} // drop the family string reference
+			s.head++
+			if s.head > s.cap {
+				n := copy(s.order, s.order[s.head:])
+				s.order = s.order[:n]
+				s.head = 0
+			}
 		}
 	}
-	c.mu.Unlock()
+	s.mu.Unlock()
 	if ok {
 		c.hits.Add(1)
 	} else {
 		c.misses.Add(1)
 	}
 	e.genOnce.Do(func() {
-		rng := rand.New(rand.NewSource(seed))
-		e.g, e.genErr = fam.Generate(n, rng)
+		rng := rand.New(rand.NewSource(key.seed))
+		e.g, e.genErr = fam.Generate(key.n, rng)
 	})
 	return e, e.genErr
 }
@@ -93,26 +178,44 @@ func (c *instanceCache) lookup(key string, n int, seed int64, fam graphgen.Famil
 // cache shared across specs — the oracled service keeps one alive across
 // campaign submissions — must not hand a unit from one spec a graph
 // generated under another spec's seed, or cached runs would silently stop
-// reproducing. The key format matches Cache.Instance, so campaign units
-// and direct service requests that agree on (family, n, seed) share too.
+// reproducing. The key matches Cache.Instance, so campaign units and
+// direct service requests that agree on (family, n, seed) share too.
 func (c *instanceCache) instance(u Unit, fam graphgen.Family) (*instanceEntry, error) {
-	key := fmt.Sprintf("instance/%s/n%d/s%d", u.Family, u.N, u.InstanceSeed)
-	return c.lookup(key, u.N, u.InstanceSeed, fam)
+	return c.lookup(instanceKey{family: u.Family, n: u.N, seed: u.InstanceSeed}, fam)
 }
 
 // advise returns o's advice for the entry's graph, computed once per
-// (oracle name, source). Oracles are deterministic in (graph, source), so
-// the pair fully identifies the result; campaign units always use source 0,
-// the serving path varies it.
+// (oracle name, source). The read path is a single atomic load plus a map
+// lookup — no lock — so steady-state serving never contends here.
 func (e *instanceEntry) advise(o oracle.Oracle, source graph.NodeID) (sim.Advice, error) {
-	key := fmt.Sprintf("%s@%d", o.Name(), source)
-	e.mu.Lock()
-	r, ok := e.advice[key]
-	if !ok {
-		r.advice, r.err = o.Advise(e.g, source)
-		e.advice[key] = r
+	key := adviceKey{oracle: o.Name(), source: source}
+	if m := e.advice.Load(); m != nil {
+		if r, ok := (*m)[key]; ok {
+			return r.advice, r.err
+		}
 	}
-	e.mu.Unlock()
+	e.adviceMu.Lock()
+	defer e.adviceMu.Unlock()
+	old := e.advice.Load()
+	if old != nil {
+		if r, ok := (*old)[key]; ok {
+			return r.advice, r.err
+		}
+	}
+	var r adviceResult
+	r.advice, r.err = o.Advise(e.g, source)
+	size := 1
+	if old != nil {
+		size += len(*old)
+	}
+	next := make(map[adviceKey]adviceResult, size)
+	if old != nil {
+		for k, v := range *old {
+			next[k] = v
+		}
+	}
+	next[key] = r
+	e.advice.Store(&next)
 	return r.advice, r.err
 }
 
@@ -143,15 +246,26 @@ func (s CacheStats) Sub(earlier CacheStats) CacheStats {
 // Cache is the exported handle on a bounded instance cache, for callers
 // that keep one alive across many executions (the oracled service shares
 // one between its request handlers and its campaign runs). The zero value
-// is not usable; construct with NewCache.
+// is not usable; construct with NewCache or NewShardedCache.
 type Cache struct {
 	c *instanceCache
 }
 
 // NewCache returns a cache bounded to the given number of instances
-// (minimum 1), evicted FIFO.
+// (minimum 1), evicted FIFO, with a single lock — the right shape for a
+// worker pool that looks instances up once per unit. Concurrent servers
+// should use NewShardedCache.
 func NewCache(capacity int) *Cache {
 	return &Cache{c: newInstanceCache(capacity)}
+}
+
+// NewShardedCache returns a cache whose key space is partitioned into the
+// given number of independently locked shards (rounded up to a power of
+// two, at most capacity), with total capacity divided evenly across them.
+// Sharding changes which entries survive eviction pressure, never any
+// record contents.
+func NewShardedCache(capacity, shards int) *Cache {
+	return &Cache{c: newShardedInstanceCache(capacity, shards)}
 }
 
 // Stats snapshots the cumulative hit/miss counters.
@@ -163,8 +277,7 @@ func (c *Cache) Stats() CacheStats {
 // seed, generating it on first use. The returned Instance shares immutable
 // state; it remains valid after eviction.
 func (c *Cache) Instance(fam graphgen.Family, n int, seed int64) (*Instance, error) {
-	key := fmt.Sprintf("instance/%s/n%d/s%d", fam.Name, n, seed)
-	e, err := c.c.lookup(key, n, seed, fam)
+	e, err := c.c.lookup(instanceKey{family: fam.Name, n: n, seed: seed}, fam)
 	if err != nil {
 		return nil, err
 	}

@@ -3,6 +3,8 @@ package campaign
 import (
 	"reflect"
 	"testing"
+
+	"oraclesize/internal/graphgen"
 )
 
 // taskUnits returns the quick spec's task units (the ones the instance
@@ -96,6 +98,107 @@ func TestSharedCacheAcrossSpecSeeds(t *testing.T) {
 					spec.Seed, u.Key(), got, want)
 			}
 		}
+	}
+}
+
+// TestShardedCacheDoesNotChangeRecords extends the transparency contract
+// to the sharded constructor the oracled service uses: task units run
+// against a many-shard cache must produce exactly the records an
+// unsharded (and an uncached) run would.
+func TestShardedCacheDoesNotChangeRecords(t *testing.T) {
+	spec, units := taskUnits(t)
+	hash := spec.Hash()
+	sharded := newShardedInstanceCache(len(units), 8)
+	for _, u := range units {
+		got, err := runUnit(spec, hash, u, sharded)
+		if err != nil {
+			t.Fatalf("%s sharded: %v", u.Key(), err)
+		}
+		want, err := runUnit(spec, hash, u, nil)
+		if err != nil {
+			t.Fatalf("%s uncached: %v", u.Key(), err)
+		}
+		for i := range got {
+			got[i].WallNS = 0
+		}
+		for i := range want {
+			want[i].WallNS = 0
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: sharded-cache records differ from uncached:\nsharded:  %+v\nuncached: %+v",
+				u.Key(), got, want)
+		}
+	}
+}
+
+// TestShardedCacheSpreadsKeys sanity-checks the partitioning: distinct
+// seeds land in more than one shard, and total capacity is preserved.
+func TestShardedCacheSpreadsKeys(t *testing.T) {
+	c := newShardedInstanceCache(64, 8)
+	if len(c.shards) != 8 {
+		t.Fatalf("shards = %d, want 8", len(c.shards))
+	}
+	fam, err := graphgen.FamilyByName("random-sparse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 64; seed++ {
+		if _, err := c.lookup(instanceKey{family: "random-sparse", n: 8, seed: seed}, fam); err != nil {
+			t.Fatal(err)
+		}
+	}
+	populated := 0
+	total := 0
+	for i := range c.shards {
+		if n := len(c.shards[i].entries); n > 0 {
+			populated++
+			total += n
+		}
+	}
+	if populated < 2 {
+		t.Errorf("64 distinct keys landed in %d shard(s); hash is not spreading", populated)
+	}
+	if total > 64 {
+		t.Errorf("sharded cache holds %d entries, capacity 64", total)
+	}
+	// Shard counts round up to a power of two and never exceed capacity.
+	if got := len(newShardedInstanceCache(4, 100).shards); got != 4 {
+		t.Errorf("shards(cap=4, want 100) = %d, want 4", got)
+	}
+	if got := len(newShardedInstanceCache(64, 5).shards); got != 8 {
+		t.Errorf("shards(cap=64, want 5) = %d, want 8 (next power of two)", got)
+	}
+}
+
+// TestEvictionOrderDoesNotLeak is the regression test for the FIFO order
+// slice: the old order = order[1:] idiom let the backing array grow with
+// every insertion ever made. Churning far more distinct instances than
+// the capacity through the cache must leave both the entry map and the
+// order slice's backing array bounded by the capacity, not the history.
+func TestEvictionOrderDoesNotLeak(t *testing.T) {
+	const capacity = 4
+	c := newInstanceCache(capacity)
+	fam, err := graphgen.FamilyByName("path")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 10_000; seed++ {
+		if _, err := c.lookup(instanceKey{family: "path", n: 4, seed: seed}, fam); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := &c.shards[0]
+	if len(s.entries) > capacity {
+		t.Errorf("entries = %d, want <= %d", len(s.entries), capacity)
+	}
+	// Compaction keeps the live window plus a bounded dead prefix; 4× the
+	// capacity is generous headroom over the ~2× the implementation aims
+	// for, while the old idiom would have accumulated thousands.
+	if got := cap(s.order); got > 4*capacity {
+		t.Errorf("order backing array holds %d slots after 10k insertions, want <= %d", got, 4*capacity)
+	}
+	if live := len(s.order) - s.head; live > capacity {
+		t.Errorf("live order window = %d, want <= %d", live, capacity)
 	}
 }
 

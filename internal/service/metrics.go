@@ -5,7 +5,6 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -14,23 +13,73 @@ import (
 
 // latencyBuckets are the fixed histogram bucket upper bounds, in seconds.
 // They span sub-millisecond cache hits through multi-second campaigns.
-var latencyBuckets = []float64{
+var latencyBuckets = [...]float64{
 	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
 	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
 }
 
-// endpointMetrics accumulates one endpoint's request counts (by status
-// code) and a latency histogram. Guarded by metrics.mu.
-type endpointMetrics struct {
-	byCode  map[int]int64
-	buckets []int64 // cumulative-at-render; stored per-bucket here
-	sum     float64
-	count   int64
+// histShard is one independently updated slice of an endpoint's latency
+// histogram. Eight clients observing concurrently land on different shards
+// and never serialize; the /metrics renderer sums across shards.
+type histShard struct {
+	bins  [len(latencyBuckets)]atomic.Int64
+	count atomic.Int64
+	sumNS atomic.Int64
 }
 
-// metrics is the server's metric registry: lock-free gauges updated on the
-// hot path plus a mutex-guarded per-endpoint request table read only by
-// the /metrics renderer.
+// endpointMetrics accumulates one endpoint's request counts (by status
+// code) and a sharded latency histogram. Everything on the observe path
+// is an atomic add — no locks, no maps.
+type endpointMetrics struct {
+	// codes counts finished requests by HTTP status, indexed directly by
+	// code. 600 counters cost ~5 KiB per endpoint; in exchange the hot
+	// path is one bounds check and one atomic add.
+	codes  [600]atomic.Int64
+	shards []histShard
+	mask   uint64
+}
+
+// observe records one finished request. The histogram shard is selected
+// from the duration's low bits — effectively random across requests, free
+// of shared state, and stable under the race detector.
+func (em *endpointMetrics) observe(code int, d time.Duration) {
+	if code >= 0 && code < len(em.codes) {
+		em.codes[code].Add(1)
+	}
+	sh := &em.shards[uint64(d)&em.mask]
+	secs := d.Seconds()
+	for i, ub := range latencyBuckets {
+		if secs <= ub {
+			sh.bins[i].Add(1)
+			break
+		}
+	}
+	sh.count.Add(1)
+	sh.sumNS.Add(int64(d))
+}
+
+// binTotal sums one bucket across shards.
+func (em *endpointMetrics) binTotal(i int) int64 {
+	var t int64
+	for s := range em.shards {
+		t += em.shards[s].bins[i].Load()
+	}
+	return t
+}
+
+func (em *endpointMetrics) totals() (count int64, sumNS int64) {
+	for s := range em.shards {
+		count += em.shards[s].count.Load()
+		sumNS += em.shards[s].sumNS.Load()
+	}
+	return count, sumNS
+}
+
+// metrics is the server's metric registry. Every hot-path update — the
+// queue gauges, the per-endpoint request tables, the histogram bins — is
+// lock-free; the endpoints map is populated at route-construction time and
+// read-only afterwards, so the observe path is a plain map read plus
+// atomic adds.
 type metrics struct {
 	queued     atomic.Int64 // jobs admitted and not yet picked up
 	dropped    atomic.Int64 // jobs discarded because their deadline lapsed in queue
@@ -38,40 +87,36 @@ type metrics struct {
 	inflight   atomic.Int64 // HTTP requests currently being served
 	shed       atomic.Int64 // requests answered 503 for backpressure
 	shardUnits atomic.Int64 // campaign units executed via POST /v1/shard
+	batches    atomic.Int64 // dispatcher wakeups that executed >= 1 job
+	dispatched atomic.Int64 // jobs executed across all batches
+	respHits   atomic.Int64 // requests served from the response cache
+	respMisses atomic.Int64 // cacheable requests that executed
 
-	mu        sync.Mutex
-	endpoints map[string]*endpointMetrics
+	histShards int
+	endpoints  map[string]*endpointMetrics
 }
 
-func newMetrics() *metrics {
-	return &metrics{endpoints: make(map[string]*endpointMetrics)}
+func newMetrics(histShards int) *metrics {
+	if histShards < 1 {
+		histShards = 1
+	}
+	n := 1
+	for n < histShards {
+		n <<= 1
+	}
+	return &metrics{histShards: n, endpoints: make(map[string]*endpointMetrics)}
 }
 
-// observe records one finished request.
-func (m *metrics) observe(endpoint string, code int, d time.Duration) {
-	if code == http.StatusServiceUnavailable {
-		m.shed.Add(1)
+// endpoint registers (or returns) the named endpoint's table. It is called
+// only while the route table is being built — never concurrently with
+// serving — which is what lets observe run without a lock.
+func (m *metrics) endpoint(name string) *endpointMetrics {
+	if em, ok := m.endpoints[name]; ok {
+		return em
 	}
-	secs := d.Seconds()
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	em := m.endpoints[endpoint]
-	if em == nil {
-		em = &endpointMetrics{
-			byCode:  make(map[int]int64),
-			buckets: make([]int64, len(latencyBuckets)),
-		}
-		m.endpoints[endpoint] = em
-	}
-	em.byCode[code]++
-	em.sum += secs
-	em.count++
-	for i, ub := range latencyBuckets {
-		if secs <= ub {
-			em.buckets[i]++
-			break
-		}
-	}
+	em := &endpointMetrics{shards: make([]histShard, m.histShards), mask: uint64(m.histShards - 1)}
+	m.endpoints[name] = em
+	return em
 }
 
 // handleMetrics renders the Prometheus text exposition format by hand —
@@ -102,6 +147,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "# HELP oracled_shard_units_total Campaign units executed through POST /v1/shard.\n")
 	fmt.Fprintf(w, "# TYPE oracled_shard_units_total counter\n")
 	fmt.Fprintf(w, "oracled_shard_units_total %d\n", m.shardUnits.Load())
+	fmt.Fprintf(w, "# HELP oracled_dispatch_batches_total Worker wakeups that drained at least one queued job.\n")
+	fmt.Fprintf(w, "# TYPE oracled_dispatch_batches_total counter\n")
+	fmt.Fprintf(w, "oracled_dispatch_batches_total %d\n", m.batches.Load())
+	fmt.Fprintf(w, "# HELP oracled_dispatch_jobs_total Jobs executed across all dispatch batches.\n")
+	fmt.Fprintf(w, "# TYPE oracled_dispatch_jobs_total counter\n")
+	fmt.Fprintf(w, "oracled_dispatch_jobs_total %d\n", m.dispatched.Load())
+	fmt.Fprintf(w, "# HELP oracled_response_cache_hits_total Requests served from the deterministic response cache.\n")
+	fmt.Fprintf(w, "# TYPE oracled_response_cache_hits_total counter\n")
+	fmt.Fprintf(w, "oracled_response_cache_hits_total %d\n", m.respHits.Load())
+	fmt.Fprintf(w, "# HELP oracled_response_cache_misses_total Cacheable requests that executed because no cached response existed.\n")
+	fmt.Fprintf(w, "# TYPE oracled_response_cache_misses_total counter\n")
+	fmt.Fprintf(w, "oracled_response_cache_misses_total %d\n", m.respMisses.Load())
 
 	ps := sim.ReadPoolStats()
 	fmt.Fprintf(w, "# HELP oracled_engine_pool_runs_total Simulations served through the pooled engine (process-wide).\n")
@@ -129,8 +186,6 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "# TYPE oracled_campaigns_running gauge\n")
 	fmt.Fprintf(w, "oracled_campaigns_running %d\n", s.campaigns.running())
 
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	names := make([]string, 0, len(m.endpoints))
 	for name := range m.endpoints {
 		names = append(names, name)
@@ -141,13 +196,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "# TYPE oracled_requests_total counter\n")
 	for _, name := range names {
 		em := m.endpoints[name]
-		codes := make([]int, 0, len(em.byCode))
-		for c := range em.byCode {
-			codes = append(codes, c)
-		}
-		sort.Ints(codes)
-		for _, c := range codes {
-			fmt.Fprintf(w, "oracled_requests_total{endpoint=%q,code=\"%d\"} %d\n", name, c, em.byCode[c])
+		for code := range em.codes {
+			if n := em.codes[code].Load(); n > 0 {
+				fmt.Fprintf(w, "oracled_requests_total{endpoint=%q,code=\"%d\"} %d\n", name, code, n)
+			}
 		}
 	}
 
@@ -157,13 +209,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		em := m.endpoints[name]
 		var cum int64
 		for i, ub := range latencyBuckets {
-			cum += em.buckets[i]
+			cum += em.binTotal(i)
 			fmt.Fprintf(w, "oracled_request_duration_seconds_bucket{endpoint=%q,le=%q} %d\n",
 				name, formatFloat(ub), cum)
 		}
-		fmt.Fprintf(w, "oracled_request_duration_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", name, em.count)
-		fmt.Fprintf(w, "oracled_request_duration_seconds_sum{endpoint=%q} %s\n", name, formatFloat(em.sum))
-		fmt.Fprintf(w, "oracled_request_duration_seconds_count{endpoint=%q} %d\n", name, em.count)
+		count, sumNS := em.totals()
+		fmt.Fprintf(w, "oracled_request_duration_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", name, count)
+		fmt.Fprintf(w, "oracled_request_duration_seconds_sum{endpoint=%q} %s\n", name, formatFloat(float64(sumNS)/1e9))
+		fmt.Fprintf(w, "oracled_request_duration_seconds_count{endpoint=%q} %d\n", name, count)
 	}
 }
 

@@ -29,6 +29,7 @@ import (
 	"net/http"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"oraclesize/internal/campaign"
@@ -77,6 +78,25 @@ type Config struct {
 	// ArtifactDir is where campaign JSONL artifacts are written (default
 	// the OS temp dir).
 	ArtifactDir string
+	// BatchMax caps how many queued requests one worker drains per wakeup
+	// (default 16). Under load the queue/channel hand-off and scheduler
+	// wakeup are amortized across the batch; a solo request still executes
+	// on the first (blocking) receive, so unloaded latency is unchanged.
+	// 1 restores strict one-job-per-wakeup dispatch.
+	BatchMax int
+	// CacheShards partitions the shared instance cache into independently
+	// locked shards (default 8, rounded up to a power of two, at most
+	// CacheCapacity) so concurrent requests do not serialize on one mutex.
+	CacheShards int
+	// MetricsShards partitions each endpoint's latency histogram into
+	// independently updated shards (default 8, rounded up to a power of
+	// two). Request/status counters are always single atomics.
+	MetricsShards int
+	// ResponseCacheCapacity bounds the deterministic response cache, which
+	// memoizes encoded 200 responses for repeatable /v1/advice and /v1/run
+	// requests (queue engine only) and serves repeats without touching the
+	// work queue. Default 4096 entries; negative disables the cache.
+	ResponseCacheCapacity int
 }
 
 func (c Config) withDefaults() Config {
@@ -119,6 +139,18 @@ func (c Config) withDefaults() Config {
 	if c.CampaignHistory <= 0 {
 		c.CampaignHistory = 32
 	}
+	if c.BatchMax <= 0 {
+		c.BatchMax = 16
+	}
+	if c.CacheShards <= 0 {
+		c.CacheShards = 8
+	}
+	if c.MetricsShards <= 0 {
+		c.MetricsShards = 8
+	}
+	if c.ResponseCacheCapacity == 0 {
+		c.ResponseCacheCapacity = 4096
+	}
 	return c
 }
 
@@ -132,13 +164,18 @@ type Server struct {
 	mux       *http.ServeMux
 	metrics   *metrics
 	cache     *campaign.Cache
+	responses *respCache // nil when ResponseCacheCapacity < 0
 	units     unitsCache
 	campaigns *campaignManager
 
 	queueMu sync.RWMutex
 	queue   chan *job
 	stopped bool
-	workers sync.WaitGroup
+	// draining mirrors stopped for lock-free reads: the response-cache fast
+	// lane consults it so a stopped server sheds repeats like any other
+	// request instead of answering from cache.
+	draining atomic.Bool
+	workers  sync.WaitGroup
 
 	// testHook, when set (by tests in this package), runs in a worker
 	// goroutine right before a job executes — the lever overload tests use
@@ -151,9 +188,12 @@ func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:     cfg,
-		metrics: newMetrics(),
-		cache:   campaign.NewCache(cfg.CacheCapacity),
+		metrics: newMetrics(cfg.MetricsShards),
+		cache:   campaign.NewShardedCache(cfg.CacheCapacity, cfg.CacheShards),
 		queue:   make(chan *job, cfg.QueueDepth),
+	}
+	if cfg.ResponseCacheCapacity > 0 {
+		s.responses = newRespCache(cfg.ResponseCacheCapacity, cfg.CacheShards)
 	}
 	s.campaigns = newCampaignManager(s)
 	s.mux = s.routes()
@@ -175,6 +215,7 @@ func (s *Server) Stop() {
 	s.queueMu.Lock()
 	if !s.stopped {
 		s.stopped = true
+		s.draining.Store(true)
 		close(s.queue)
 	}
 	s.queueMu.Unlock()
@@ -227,38 +268,92 @@ func (s *Server) enqueue(j *job) error {
 
 var errBusy = fmt.Errorf("service: work queue full")
 
+// worker runs the batched dispatch loop: block for one job, then drain up
+// to BatchMax-1 more without blocking, and execute the whole batch before
+// touching the channel again. Under load this amortizes channel receives
+// and scheduler wakeups across the batch; an idle server executes the solo
+// job straight off the blocking receive, so single-request latency is the
+// same as unbatched dispatch.
 func (s *Server) worker() {
 	defer s.workers.Done()
-	for j := range s.queue {
-		s.metrics.queued.Add(-1)
-		if j.ctx.Err() != nil {
-			// The handler gave up while the job sat in the queue; executing
-			// it would burn a worker on a response nobody reads.
-			s.metrics.dropped.Add(1)
-			continue
+	batch := make([]*job, 0, s.cfg.BatchMax)
+	for {
+		j, ok := <-s.queue
+		if !ok {
+			return
 		}
-		if s.testHook != nil {
-			s.testHook()
+		batch = append(batch[:0], j)
+		open := true
+		for len(batch) < s.cfg.BatchMax {
+			select {
+			case j2, ok2 := <-s.queue:
+				if !ok2 {
+					open = false
+				} else {
+					batch = append(batch, j2)
+					continue
+				}
+			default:
+			}
+			break
 		}
-		s.metrics.executing.Add(1)
-		value, err := j.work()
-		s.metrics.executing.Add(-1)
-		j.done <- jobResult{value: value, err: err}
+		s.metrics.batches.Add(1)
+		s.metrics.dispatched.Add(int64(len(batch)))
+		for i, j := range batch {
+			s.runJob(j)
+			batch[i] = nil // the job may be pooled again; drop our reference
+		}
+		if !open {
+			return
+		}
 	}
+}
+
+// runJob executes one dequeued job and publishes its result.
+func (s *Server) runJob(j *job) {
+	s.metrics.queued.Add(-1)
+	if j.ctx.Err() != nil {
+		// The handler gave up while the job sat in the queue; executing
+		// it would burn a worker on a response nobody reads.
+		s.metrics.dropped.Add(1)
+		return
+	}
+	if s.testHook != nil {
+		s.testHook()
+	}
+	s.metrics.executing.Add(1)
+	value, err := j.work()
+	s.metrics.executing.Add(-1)
+	j.done <- jobResult{value: value, err: err}
+}
+
+// jobPool recycles job structs (and their buffered done channels) across
+// requests. A job is returned to the pool only by the handler that owns it,
+// and only after the result hand-off completed — an abandoned job (deadline
+// fired first) is left for the GC because the worker may still be about to
+// send on its channel.
+var jobPool = sync.Pool{
+	New: func() any { return &job{done: make(chan jobResult, 1)} },
 }
 
 // execute queues work and waits for its result or the request deadline.
 // The done channel is buffered so a worker finishing after deadline expiry
 // never blocks.
 func (s *Server) execute(ctx ctxDone, work func() (any, error)) (any, error) {
-	j := &job{ctx: ctx, work: work, done: make(chan jobResult, 1)}
+	j := jobPool.Get().(*job)
+	j.ctx, j.work = ctx, work
 	if err := s.enqueue(j); err != nil {
+		j.ctx, j.work = nil, nil
+		jobPool.Put(j)
 		return nil, err
 	}
 	select {
 	case r := <-j.done:
+		j.ctx, j.work = nil, nil
+		jobPool.Put(j)
 		return r.value, r.err
 	case <-ctx.Done():
+		// Do NOT pool j: the worker may still execute it and send on done.
 		return nil, errDeadline
 	}
 }

@@ -522,6 +522,10 @@ func TestConfigDefaults(t *testing.T) {
 		{"MaxCampaigns", c.MaxCampaigns, 1},
 		{"MaxCampaignUnits", c.MaxCampaignUnits, 1 << 16},
 		{"CampaignHistory", c.CampaignHistory, 32},
+		{"BatchMax", c.BatchMax, 16},
+		{"CacheShards", c.CacheShards, 8},
+		{"MetricsShards", c.MetricsShards, 8},
+		{"ResponseCacheCapacity", c.ResponseCacheCapacity, 4096},
 	}
 	for _, tc := range checks {
 		if fmt.Sprint(tc.got) != fmt.Sprint(tc.want) {
