@@ -26,18 +26,37 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"oraclesize/internal/catalog"
+	"oraclesize/internal/membership"
 	"oraclesize/internal/service"
 )
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// advertiseFromAddr derives the base URL a coordinator can reach this
+// daemon at from the listen address: ":8080" becomes
+// "http://127.0.0.1:8080", "10.0.0.5:8080" is used as-is. Multi-host
+// deployments should pass -advertise explicitly.
+func advertiseFromAddr(addr string) string {
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return "http://" + addr
+	}
+	if host == "" || host == "::" || host == "0.0.0.0" {
+		host = "127.0.0.1"
+	}
+	return "http://" + net.JoinHostPort(host, port)
 }
 
 func run(args []string, out, errOut io.Writer) int {
@@ -59,6 +78,9 @@ func run(args []string, out, errOut io.Writer) int {
 		metricsSh  = fs.Int("metrics-shards", 0, "latency histogram shard count (0 = default 8)")
 		respCache  = fs.Int("response-cache", 0, "response cache capacity in entries (0 = default 4096, negative disables)")
 		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = off)")
+		joinURL    = fs.String("join", "", "register with this oracleherd fleet endpoint (its -listen address) and heartbeat until shutdown")
+		advertise  = fs.String("advertise", "", "base URL the coordinator should dispatch to (default derived from -addr)")
+		heartbeat  = fs.Duration("heartbeat", 2*time.Second, "membership heartbeat cadence when -join is set")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -112,19 +134,67 @@ func run(args []string, out, errOut io.Writer) int {
 	go func() { serveErr <- httpSrv.ListenAndServe() }()
 	fmt.Fprintf(out, "oracled listening on %s\n", *addr)
 
+	// With -join the daemon is an elastic fleet member: it registers with
+	// the coordinator, heartbeats its load signals, and re-joins on its own
+	// if evicted. The agent outlives the listener during shutdown so the
+	// final heartbeats carry the draining flag, then deregisters cleanly.
+	var agent *membership.Agent
+	agentCtx, agentStop := context.WithCancel(context.Background())
+	defer agentStop()
+	agentDone := make(chan error, 1)
+	if *joinURL != "" {
+		id := *advertise
+		if id == "" {
+			id = advertiseFromAddr(*addr)
+		}
+		b := service.Build()
+		agent = &membership.Agent{
+			Coordinator: strings.TrimRight(*joinURL, "/"),
+			ID:          id,
+			Fingerprint: catalog.Fingerprint(),
+			Build: membership.BuildInfo{
+				GoVersion:     b.GoVersion,
+				ModuleVersion: b.ModuleVersion,
+				Revision:      b.Revision,
+				Dirty:         b.Dirty,
+			},
+			Interval: *heartbeat,
+			Report: func() membership.Heartbeat {
+				depth, unitSec, draining := svc.FleetReport()
+				return membership.Heartbeat{QueueDepth: depth, UnitSeconds: unitSec, Draining: draining}
+			},
+			Logf: func(format string, a ...any) { fmt.Fprintf(errOut, format+"\n", a...) },
+		}
+		go func() { agentDone <- agent.Run(agentCtx) }()
+		fmt.Fprintf(out, "oracled joining fleet %s as %s\n", *joinURL, id)
+	}
+
 	select {
 	case <-ctx.Done():
-		// Graceful drain: stop accepting connections, let in-flight
-		// requests finish, then retire the worker set and wait for
-		// campaigns. Requests already admitted keep their responses.
+		// Graceful drain: advertise the drain first so heartbeats and
+		// health probes flip to draining (the coordinator stops handing us
+		// leases instead of evicting us), then stop accepting connections,
+		// let in-flight requests finish, retire the worker set, wait for
+		// campaigns, and finally deregister from the fleet.
 		fmt.Fprintf(out, "oracled: signal received, draining (budget %s)\n", *drain)
+		svc.BeginDrain()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 			fmt.Fprintf(errOut, "oracled: drain incomplete: %v\n", err)
 		}
 		svc.Stop()
-		if !svc.CampaignWait(*drain) {
+		ok := svc.CampaignWait(*drain)
+		if agent != nil {
+			leaveCtx, leaveCancel := context.WithTimeout(context.Background(), 5*time.Second)
+			if err := agent.Leave(leaveCtx); err != nil {
+				fmt.Fprintf(errOut, "oracled: fleet leave: %v\n", err)
+			}
+			leaveCancel()
+			agentStop()
+			<-agentDone
+		}
+		if !ok {
 			fmt.Fprintln(errOut, "oracled: exiting with campaigns still running")
 			return 1
 		}

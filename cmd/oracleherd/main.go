@@ -9,6 +9,17 @@
 //	           [-shard-size 0] [-shard-min 4] [-shard-max 512] [-shard-target 2s]
 //	           [-slots 2] [-lease 2m] [-hedge-after 30s]
 //	           [-retries 8] [-allow-skew] [-metrics :9090]
+//	           [-listen :8090] [-member-ttl 10s] [-target-makespan 0]
+//	           [-spawn-cmd CMD] [-spawn-max 8]
+//
+// With -listen the fleet is elastic: oracled workers self-register over
+// POST /v1/fleet/join (oracled -join) and heartbeat; joins admit workers
+// mid-campaign, heartbeat loss evicts them after -member-ttl with their
+// leases requeued immediately, and a draining worker keeps its leases but
+// is handed no new ones. -workers may then be empty — the run waits for
+// members. GET /v1/fleet lists members plus the autoscaling advice for
+// -target-makespan, and -spawn-cmd turns that advice into local worker
+// processes. See docs/FLEET.md.
 //
 // Shard sizes adapt by default: the coordinator tracks an EWMA of each
 // worker's per-unit service time and carves leases aiming at -shard-target
@@ -30,6 +41,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -42,7 +54,9 @@ import (
 	"time"
 
 	"oraclesize/internal/campaign"
+	"oraclesize/internal/catalog"
 	"oraclesize/internal/cluster"
+	"oraclesize/internal/membership"
 	"oraclesize/internal/warehouse"
 )
 
@@ -54,7 +68,7 @@ func run(args []string, out, errOut io.Writer) int {
 	fs := flag.NewFlagSet("oracleherd", flag.ContinueOnError)
 	fs.SetOutput(errOut)
 	var (
-		workers     = fs.String("workers", "", "comma-separated oracled base URLs (required)")
+		workers     = fs.String("workers", "", "comma-separated oracled base URLs (optional with -listen)")
 		specPath    = fs.String("spec", "", "campaign spec file (JSON)")
 		quick       = fs.Bool("quick", false, "use the built-in quick smoke spec")
 		outPath     = fs.String("out", "", "merged results JSONL file (-out or -warehouse required)")
@@ -71,12 +85,21 @@ func run(args []string, out, errOut io.Writer) int {
 		retries     = fs.Int("retries", 8, "per-shard dispatch attempts before the run fails")
 		allowSkew   = fs.Bool("allow-skew", false, "accept workers whose catalog fingerprint differs")
 		metrics     = fs.String("metrics", "", "serve coordinator Prometheus metrics on this address")
+		listen      = fs.String("listen", "", "serve the elastic fleet endpoints (/v1/fleet*, combined /metrics) on this address; workers join with oracled -join")
+		memberTTL   = fs.Duration("member-ttl", 10*time.Second, "evict a fleet member this long after its last heartbeat")
+		targetSpan  = fs.Duration("target-makespan", 0, "autoscaling advisor target for the remaining campaign (0 disables the recommendation)")
+		spawnCmd    = fs.String("spawn-cmd", "", "sh -c template launched per recommended worker (FLEET_INDEX set); requires -listen and -target-makespan")
+		spawnMax    = fs.Int("spawn-max", 8, "most workers -spawn-cmd may run at once")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if *workers == "" {
-		fmt.Fprintln(errOut, "oracleherd: -workers is required")
+	if *workers == "" && *listen == "" {
+		fmt.Fprintln(errOut, "oracleherd: need -workers, -listen, or both")
+		return 2
+	}
+	if *spawnCmd != "" && (*listen == "" || *targetSpan <= 0) {
+		fmt.Fprintln(errOut, "oracleherd: -spawn-cmd requires -listen and -target-makespan")
 		return 2
 	}
 	if (*outPath == "") == (*whDir == "") {
@@ -172,6 +195,7 @@ func run(args []string, out, errOut io.Writer) int {
 
 	coord, err := cluster.New(cluster.Config{
 		Workers:             urls,
+		Elastic:             *listen != "",
 		ShardSize:           *shardSize,
 		MinShardSize:        *shardMin,
 		MaxShardSize:        *shardMax,
@@ -188,6 +212,118 @@ func run(args []string, out, errOut io.Writer) int {
 	if err != nil {
 		fmt.Fprintln(errOut, err)
 		return 1
+	}
+
+	// The elastic fleet endpoint: workers self-register over
+	// POST /v1/fleet/join and heartbeat; the membership table's events feed
+	// the coordinator (join -> admit mid-run, drain -> no new leases,
+	// leave/evict -> requeue leases immediately), a sweeper evicts members
+	// whose heartbeats stop, and the advisor recommends a fleet size for
+	// -target-makespan — optionally acted on by -spawn-cmd.
+	fleetCtx, fleetStop := context.WithCancel(context.Background())
+	defer fleetStop()
+	if *listen != "" {
+		probeClient := &http.Client{Timeout: 5 * time.Second}
+		table := membership.NewTable(membership.Config{
+			TTL:         *memberTTL,
+			Fingerprint: catalog.Fingerprint(),
+			AllowSkew:   *allowSkew,
+			Probe: func(id string) membership.ProbeResult {
+				return membership.ProbeWorker(fleetCtx, probeClient, id, 3*time.Second)
+			},
+			OnEvent: func(ev membership.Event) {
+				switch ev.Kind {
+				case membership.EventJoin:
+					if err := coord.Join(ev.Member.ID); err != nil {
+						fmt.Fprintf(errOut, "oracleherd: admitting %s: %v\n", ev.Member.ID, err)
+					}
+				case membership.EventLeave, membership.EventEvict:
+					coord.Evict(ev.Member.ID)
+				case membership.EventDrain:
+					coord.SetDraining(ev.Member.ID, true)
+				case membership.EventActivate:
+					coord.SetDraining(ev.Member.ID, false)
+				}
+			},
+			Logf: func(format string, a ...any) { fmt.Fprintf(errOut, format+"\n", a...) },
+		})
+		advise := func() membership.Advice {
+			backlog, unitSec, _ := coord.RunSignals()
+			if unitSec <= 0 {
+				// Before the sizer has samples (or between runs), fall back
+				// to what the workers themselves report in heartbeats.
+				unitSec = table.MeanUnitSeconds()
+			}
+			a := membership.Advice{BacklogUnits: backlog, UnitSeconds: unitSec}
+			if *targetSpan > 0 {
+				a.TargetSeconds = targetSpan.Seconds()
+				a.RecommendedWorkers = membership.Recommend(backlog, unitSec, *targetSpan, 1, 0)
+			}
+			return a
+		}
+		fleetSrv := &membership.Server{Table: table, Advise: advise}
+		mux := http.NewServeMux()
+		fleetSrv.Routes(mux)
+		mux.Handle("GET /metrics", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			coord.Metrics().ServeHTTP(w, r)
+			fleetSrv.WriteMetrics(w)
+		}))
+		fsrv := &http.Server{Addr: *listen, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+		go func() {
+			if err := fsrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintf(errOut, "oracleherd: fleet server: %v\n", err)
+			}
+		}()
+		defer fsrv.Close()
+		fmt.Fprintf(errOut, "oracleherd: fleet endpoint on %s (member TTL %s)\n", *listen, *memberTTL)
+
+		sweepEvery := *memberTTL / 2
+		if sweepEvery <= 0 {
+			sweepEvery = time.Second
+		}
+		go func() {
+			t := time.NewTicker(sweepEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-fleetCtx.Done():
+					return
+				case <-t.C:
+					table.Sweep()
+				}
+			}
+		}()
+
+		if *spawnCmd != "" {
+			spawner := &membership.Spawner{
+				Command: *spawnCmd,
+				Max:     *spawnMax,
+				Logf:    func(format string, a ...any) { fmt.Fprintf(errOut, format+"\n", a...) },
+			}
+			defer spawner.StopAll(5 * time.Second)
+			go func() {
+				t := time.NewTicker(sweepEvery)
+				defer t.Stop()
+				for {
+					select {
+					case <-fleetCtx.Done():
+						return
+					case <-t.C:
+					}
+					if _, _, active := coord.RunSignals(); !active {
+						continue
+					}
+					a := advise()
+					// Scale only the spawner's own share: externally joined
+					// workers count toward the recommendation but are never
+					// terminated by it.
+					external := coord.LiveWorkers() - spawner.Alive()
+					if _, err := spawner.Scale(a.RecommendedWorkers - external); err != nil {
+						fmt.Fprintf(errOut, "oracleherd: %v\n", err)
+					}
+				}
+			}()
+		}
 	}
 
 	if *metrics != "" {

@@ -35,10 +35,10 @@ type sizer struct {
 	min    int           // adaptive floor
 	max    int           // adaptive ceiling
 	target time.Duration // aimed-for shard service time
-	slots  int           // fleet dispatch slots, for the tail guard
 
-	mu   sync.Mutex
-	ewma map[string]float64 // worker -> seconds per unit
+	mu    sync.Mutex
+	slots int                // live fleet dispatch slots, for the tail guard
+	ewma  map[string]float64 // worker -> seconds per unit
 }
 
 func newSizer(cfg *Config, workers int) *sizer {
@@ -82,6 +82,7 @@ func (z *sizer) sizeFor(worker string, remaining int) int {
 	}
 	z.mu.Lock()
 	per, ok := z.ewma[worker]
+	slots := z.slots
 	z.mu.Unlock()
 	size := z.min
 	if ok && per > 0 {
@@ -95,7 +96,7 @@ func (z *sizer) sizeFor(worker string, remaining int) int {
 	}
 	// Tail guard: once the queue is shorter than one round of full-size
 	// shards, hand out ceil(remaining/slots) so every slot shares the tail.
-	if tail := (remaining + z.slots - 1) / z.slots; tail < size {
+	if tail := (remaining + slots - 1) / slots; tail < size {
 		size = tail
 		if size < z.min {
 			size = z.min
@@ -110,4 +111,45 @@ func (z *sizer) perUnit(worker string) float64 {
 	z.mu.Lock()
 	defer z.mu.Unlock()
 	return z.ewma[worker]
+}
+
+// meanPerUnit averages the per-unit EWMA across workers with at least one
+// sample (0 before any). Retired workers have left the map, so this is the
+// live fleet's service rate — the autoscaling advisor's main signal.
+func (z *sizer) meanPerUnit() float64 {
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	var sum float64
+	n := 0
+	for _, per := range z.ewma {
+		if per > 0 {
+			sum += per
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// retire drops a departed worker's moving average. Without this a
+// long-lived coordinator churning through members would hold an EWMA entry
+// for every worker ever seen; a rejoining worker re-seeds from a
+// MinShardSize probe instead of inheriting stale history.
+func (z *sizer) retire(worker string) {
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	delete(z.ewma, worker)
+}
+
+// setSlots re-aims the tail guard at the live fleet's dispatch-slot count
+// as members join and leave.
+func (z *sizer) setSlots(n int) {
+	if n < 1 {
+		n = 1
+	}
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	z.slots = n
 }

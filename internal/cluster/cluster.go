@@ -51,8 +51,14 @@ import (
 // Zero values select the documented defaults.
 type Config struct {
 	// Workers lists the oracled base URLs (e.g. "http://10.0.0.7:8080").
-	// At least one worker must pass the initial health probe.
+	// At least one worker must pass the initial health probe, unless the
+	// fleet is Elastic.
 	Workers []string
+	// Elastic admits a fleet with no configured workers: members join (and
+	// leave) a running campaign through Coordinator.Join/Evict, typically
+	// driven by the membership subsystem. An elastic Probe tolerates zero
+	// reachable workers — the run blocks until joined members finish it.
+	Elastic bool
 	// ShardSize, when > 0, pins fixed sizing: every shard holds this many
 	// consecutive units. 0 (the default) selects adaptive sizing driven by
 	// MinShardSize, MaxShardSize and TargetShardDuration.
@@ -204,16 +210,33 @@ type Stats struct {
 	WorkerShards map[string]int64
 }
 
-// Coordinator runs distributed campaigns over a fixed fleet. Construct
-// with New; Metrics may be served concurrently with Run.
+// Coordinator runs distributed campaigns over a fleet that may change
+// while a run is active: Join admits a worker (spawning its lease slots
+// mid-run), Evict removes one (its leases requeue immediately and its
+// in-flight dispatches are cancelled), SetDraining stops new leases
+// without disturbing held ones. Construct with New; Metrics may be served
+// concurrently with Run.
 type Coordinator struct {
-	cfg     Config
-	workers []*worker
-	m       *metrics
-	rng     *lockedRand
+	cfg   Config
+	fleet *fleet
+	m     *metrics
+	rng   *lockedRand
 
 	mu  sync.Mutex
-	cur *runState // active run, nil between runs; read by the metrics renderer
+	cur *activeRun // nil between runs; read by the metrics renderer
+}
+
+// activeRun is the coordinator's handle on one Run: the scheduling core,
+// the spec being executed, and the machinery Join and Evict need to spawn
+// and tear down per-worker slot loops mid-run. Guarded by Coordinator.mu.
+type activeRun struct {
+	core *Core
+	spec *campaign.Spec
+	ctx  context.Context
+	wg   sync.WaitGroup
+	// cancels aborts a worker's in-flight dispatches on eviction, keyed by
+	// worker index (indexes are stable; a rejoin gets a fresh index).
+	cancels map[int]context.CancelFunc
 }
 
 // New validates the fleet configuration and builds a coordinator. No
@@ -221,11 +244,11 @@ type Coordinator struct {
 func New(cfg Config) (*Coordinator, error) {
 	cfg = cfg.withDefaults()
 	c := &Coordinator{cfg: cfg, m: newMetrics(), rng: newLockedRand(cfg.Seed)}
-	workers, err := buildWorkers(&c.cfg, c.m, c.rng)
+	fl, err := newFleet(&c.cfg, c.m, c.rng)
 	if err != nil {
 		return nil, err
 	}
-	c.workers = workers
+	c.fleet = fl
 	return c, nil
 }
 
@@ -236,9 +259,13 @@ func New(cfg Config) (*Coordinator, error) {
 // path once the run is underway.
 func (c *Coordinator) Probe(ctx context.Context) error {
 	local := catalog.Fingerprint()
+	workers := c.fleet.snapshot()
 	var wg sync.WaitGroup
-	wg.Add(len(c.workers))
-	for _, w := range c.workers {
+	for _, w := range workers {
+		if w.isGone() {
+			continue
+		}
+		wg.Add(1)
 		go func(w *worker) {
 			defer wg.Done()
 			w.probe(ctx)
@@ -246,7 +273,10 @@ func (c *Coordinator) Probe(ctx context.Context) error {
 	}
 	wg.Wait()
 	up := 0
-	for _, w := range c.workers {
+	for _, w := range workers {
+		if w.isGone() {
+			continue
+		}
 		h := w.health()
 		if !h.up {
 			c.cfg.Logf("cluster: worker %s unreachable: %v", w.url, h.err)
@@ -264,7 +294,13 @@ func (c *Coordinator) Probe(ctx context.Context) error {
 		}
 	}
 	if up == 0 {
-		return fmt.Errorf("cluster: no worker of %d passed the health probe", len(c.workers))
+		if c.cfg.Elastic {
+			// An elastic fleet may legitimately be empty (or entirely
+			// unreachable) at launch; members join once the run is live.
+			c.cfg.Logf("cluster: elastic fleet: no reachable members yet, waiting for joins")
+			return nil
+		}
+		return fmt.Errorf("cluster: no worker of %d passed the health probe", len(workers))
 	}
 	return nil
 }
@@ -294,46 +330,40 @@ func (c *Coordinator) Run(ctx context.Context, spec *campaign.Spec, sink campaig
 		}
 	}
 
-	st := newRunState(&c.cfg, c.m, len(c.workers), len(units), doneIdx, sink)
-	core := &Core{cfg: c.cfg, m: c.m, st: st, workers: c.workers}
+	st := newRunState(&c.cfg, c.m, c.fleet.liveCount(), len(units), doneIdx, sink)
+	core := &Core{cfg: c.cfg, m: c.m, st: st, fleet: c.fleet}
 	sizing := "adaptive"
 	if c.cfg.ShardSize > 0 {
 		sizing = fmt.Sprintf("fixed %d units/shard", c.cfg.ShardSize)
 	}
 	c.cfg.Logf("cluster: %s %s: %d units (%d to run, %d resumed) across %d workers, %s sizing",
-		spec.Name, spec.Hash(), len(units), st.unitsLeft, st.skipped, len(c.workers), sizing)
-
-	c.mu.Lock()
-	c.cur = st
-	c.mu.Unlock()
-	defer func() {
-		c.mu.Lock()
-		c.cur = nil
-		c.mu.Unlock()
-	}()
+		spec.Name, spec.Hash(), len(units), st.unitsLeft, st.skipped, c.fleet.liveCount(), sizing)
 
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	go func() {
-		// Tear down in-flight dispatches (hedge losers, doomed retries) the
-		// moment the run finishes instead of waiting out their leases.
-		select {
-		case <-st.doneCh:
-			cancel()
-		case <-runCtx.Done():
-		}
-	}()
-	var wg sync.WaitGroup
-	for i := range c.workers {
-		for s := 0; s < c.cfg.Slots; s++ {
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				c.slotLoop(runCtx, core, i, spec)
-			}(i)
+	ar := &activeRun{core: core, spec: spec, ctx: runCtx, cancels: make(map[int]context.CancelFunc)}
+	c.mu.Lock()
+	c.cur = ar
+	for i := 0; i < c.fleet.size(); i++ {
+		if !c.fleet.get(i).isGone() {
+			c.spawnSlotsLocked(ar, i)
 		}
 	}
-	wg.Wait()
+	c.mu.Unlock()
+
+	// Wait for the run itself, not the slot loops: an elastic run may
+	// start with no slots at all and is finished by whoever joined. Then
+	// cancel so in-flight dispatches (hedge losers, doomed retries) tear
+	// down immediately instead of waiting out their leases.
+	select {
+	case <-st.doneCh:
+	case <-runCtx.Done():
+	}
+	c.mu.Lock()
+	c.cur = nil
+	c.mu.Unlock()
+	cancel()
+	ar.wg.Wait()
 
 	stats := core.Stats()
 	if err := st.err(); err != nil {
@@ -345,15 +375,117 @@ func (c *Coordinator) Run(ctx context.Context, spec *campaign.Spec, sink campaig
 	return stats, nil
 }
 
+// spawnSlotsLocked launches worker i's lease slots into the active run,
+// with its own cancel so an eviction can abort the worker's in-flight
+// dispatches without touching the rest of the fleet. Callers hold c.mu.
+func (c *Coordinator) spawnSlotsLocked(ar *activeRun, i int) {
+	wctx, wcancel := context.WithCancel(ar.ctx)
+	ar.cancels[i] = wcancel
+	for s := 0; s < c.cfg.Slots; s++ {
+		ar.wg.Add(1)
+		go func() {
+			defer ar.wg.Done()
+			c.slotLoop(wctx, ar.core, i, ar.spec)
+		}()
+	}
+}
+
+// Join admits a worker to the fleet, spawning its lease slots mid-run when
+// a campaign is active. Joining a name that is already live revives it in
+// place (breaker closed, drain cleared); a previously evicted name rejoins
+// under a fresh index with fresh scheduling state.
+func (c *Coordinator) Join(url string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ar := c.cur
+	if ar == nil {
+		_, _, added, err := c.fleet.add(url)
+		if added {
+			c.cfg.Logf("cluster: worker %s joined", url)
+		}
+		return err
+	}
+	i, added, err := ar.core.AddWorker(url)
+	if err != nil {
+		return err
+	}
+	if added {
+		c.cfg.Logf("cluster: worker %s joined mid-run", url)
+		c.spawnSlotsLocked(ar, i)
+	}
+	return nil
+}
+
+// Evict removes a worker from the fleet: every lease it holds requeues
+// immediately (no lease-timeout wait), its in-flight dispatches are
+// cancelled, and its scheduling state (EWMA, histograms) retires with it.
+// It reports how many leases requeued and whether the name was a live
+// member.
+func (c *Coordinator) Evict(url string) (requeued int, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w, i, found := c.fleet.byURL(url)
+	if !found || w.isGone() {
+		return 0, false
+	}
+	if ar := c.cur; ar != nil {
+		requeued, _ = ar.core.DropWorker(url)
+		if cancel := ar.cancels[i]; cancel != nil {
+			cancel()
+			delete(ar.cancels, i)
+		}
+		c.cfg.Logf("cluster: worker %s evicted, %d leases requeued", url, requeued)
+		return requeued, true
+	}
+	c.fleet.drop(url)
+	c.m.retire(url)
+	c.cfg.Logf("cluster: worker %s evicted", url)
+	return 0, true
+}
+
+// SetDraining marks a live worker as draining — it keeps the leases it
+// holds but is handed no new ones — or clears the drain. The membership
+// heartbeat path drives this when a worker's health probe answers with a
+// draining status instead of going silent.
+func (c *Coordinator) SetDraining(url string, draining bool) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ar := c.cur; ar != nil {
+		return ar.core.SetWorkerDraining(url, draining)
+	}
+	w, _, ok := c.fleet.byURL(url)
+	if !ok || w.isGone() {
+		return false
+	}
+	w.setDraining(draining)
+	return true
+}
+
+// LiveWorkers is the number of current fleet members (static and joined,
+// evictions excluded).
+func (c *Coordinator) LiveWorkers() int { return c.fleet.liveCount() }
+
+// RunSignals reports the active run's autoscaling inputs: the runnable
+// unit backlog and the live fleet's mean per-unit service time from the
+// adaptive sizer. active is false between runs.
+func (c *Coordinator) RunSignals() (backlog int, meanUnitSeconds float64, active bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ar := c.cur; ar != nil {
+		return ar.core.Backlog(), ar.core.MeanUnitSeconds(), true
+	}
+	return 0, 0, false
+}
+
 // slotLoop is one lease slot on one worker: it acquires the next runnable
 // shard from the core (requeued work first, then fresh carves, then hedge
 // candidates), dispatches it over HTTP under the lease deadline, and
 // reports the outcome back. The loop exits when the run finishes, fails,
-// or the context is cancelled.
+// the worker is evicted, or the context is cancelled.
 func (c *Coordinator) slotLoop(ctx context.Context, core *Core, i int, spec *campaign.Spec) {
-	st, w := core.st, core.workers[i]
+	st, w := core.st, core.fleet.get(i)
 	for {
-		if core.Finished() || ctx.Err() != nil {
+		if core.Finished() || ctx.Err() != nil || w.isGone() {
 			st.wakeAll() // unblock sibling slots so the run tears down promptly
 			return
 		}

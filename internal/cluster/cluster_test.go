@@ -538,11 +538,11 @@ func TestHedgeFirstResultWins(t *testing.T) {
 
 	winner := []campaign.Record{{Kind: "task", Unit: "u", Scheme: "winner"}}
 	loser := []campaign.Record{{Kind: "task", Unit: "u", Scheme: "loser"}}
-	if first, err := st.complete(s, wB, [][]campaign.Record{winner}); err != nil || !first {
-		t.Fatalf("winner complete = (%v, %v), want first delivery", first, err)
+	if first, live, err := st.complete(s, wB, [][]campaign.Record{winner}); err != nil || !first || !live {
+		t.Fatalf("winner complete = (%v, %v, %v), want live first delivery", first, live, err)
 	}
-	if first, err := st.complete(s, wA, [][]campaign.Record{loser}); err != nil || first {
-		t.Fatalf("loser complete = (%v, %v), want non-first delivery", first, err)
+	if first, live, err := st.complete(s, wA, [][]campaign.Record{loser}); err != nil || first || !live {
+		t.Fatalf("loser complete = (%v, %v, %v), want live non-first delivery", first, live, err)
 	}
 	if sink.Deduped() != 1 || sink.Written() != 1 {
 		t.Fatalf("sink deduped %d written %d, want 1 and 1", sink.Deduped(), sink.Written())

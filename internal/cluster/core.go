@@ -15,14 +15,19 @@ import (
 // workers on virtual time, which is what makes controller decisions and
 // makespans testable exactly.
 //
+// The fleet is elastic: AddWorker admits a member mid-run, DropWorker
+// evicts one — its leases requeue immediately (no lease-timeout wait) and
+// its scheduling state (EWMA, breaker, histograms) retires with it.
+// Results a departed worker delivers late are dropped.
+//
 // The protocol per worker slot is: Gate → Acquire → run the shard however
 // the caller likes → Complete or Fail. All methods are safe for concurrent
 // use.
 type Core struct {
-	cfg     Config
-	m       *metrics
-	st      *runState
-	workers []*worker
+	cfg   Config
+	m     *metrics
+	st    *runState
+	fleet *fleet
 }
 
 // Lease is one dispatch: a contiguous unit range leased to a worker.
@@ -38,11 +43,12 @@ type Lease struct {
 }
 
 // NewCore builds a standalone scheduling core over a simulated or
-// otherwise caller-managed fleet: cfg.Workers supplies the worker names
-// (no network traffic happens; all workers start healthy), totalUnits is
-// the compiled unit count, and done — nil, or one flag per unit — marks
-// units satisfied by a resume, which are nil-deposited into the sink
-// exactly like a local resume and never leased.
+// otherwise caller-managed fleet: cfg.Workers supplies the founding worker
+// names (no network traffic happens; all workers start healthy; the list
+// may be empty when cfg.Elastic, with members arriving via AddWorker),
+// totalUnits is the compiled unit count, and done — nil, or one flag per
+// unit — marks units satisfied by a resume, which are nil-deposited into
+// the sink exactly like a local resume and never leased.
 func NewCore(cfg Config, totalUnits int, done []bool, sink campaign.Store) (*Core, error) {
 	cfg = cfg.withDefaults()
 	if done != nil && len(done) != totalUnits {
@@ -53,15 +59,16 @@ func NewCore(cfg Config, totalUnits int, done []bool, sink campaign.Store) (*Cor
 	}
 	m := newMetrics()
 	rng := newLockedRand(cfg.Seed)
-	workers, err := buildWorkers(&cfg, m, rng)
+	core := &Core{cfg: cfg, m: m}
+	fl, err := newFleet(&core.cfg, m, rng)
 	if err != nil {
 		return nil, err
 	}
-	for _, w := range workers {
+	for _, w := range fl.snapshot() {
 		w.markUp()
 	}
-	core := &Core{cfg: cfg, m: m, workers: workers}
-	core.st = newRunState(&core.cfg, m, len(workers), totalUnits, done, sink)
+	core.fleet = fl
+	core.st = newRunState(&core.cfg, m, fl.liveCount(), totalUnits, done, sink)
 	for i, d := range done {
 		if d {
 			if err := sink.Deposit(i, nil); err != nil {
@@ -72,43 +79,94 @@ func NewCore(cfg Config, totalUnits int, done []bool, sink campaign.Store) (*Cor
 	return core, nil
 }
 
-// buildWorkers validates the fleet list and constructs its members.
-func buildWorkers(cfg *Config, m *metrics, rng *lockedRand) ([]*worker, error) {
-	if len(cfg.Workers) == 0 {
-		return nil, fmt.Errorf("cluster: no workers configured")
-	}
-	seen := make(map[string]bool, len(cfg.Workers))
-	workers := make([]*worker, 0, len(cfg.Workers))
-	for _, url := range cfg.Workers {
-		if url == "" || seen[url] {
-			return nil, fmt.Errorf("cluster: empty or duplicate worker URL %q", url)
-		}
-		seen[url] = true
-		workers = append(workers, newWorker(url, cfg, m, rng))
-	}
-	return workers, nil
-}
-
 // Config returns the core's configuration with defaults resolved.
 func (c *Core) Config() Config { return c.cfg }
 
-// Workers is the fleet size; worker indexes run [0, Workers).
-func (c *Core) Workers() int { return len(c.workers) }
+// Workers is the total number of worker indexes ever allocated, departed
+// members included; indexes run [0, Workers). Use WorkerGone to tell
+// tombstones from live members.
+func (c *Core) Workers() int { return c.fleet.size() }
+
+// LiveWorkers is the number of current members (joined and not evicted).
+func (c *Core) LiveWorkers() int { return c.fleet.liveCount() }
 
 // WorkerName returns the configured name (URL) of worker i.
-func (c *Core) WorkerName(i int) string { return c.workers[i].url }
+func (c *Core) WorkerName(i int) string { return c.fleet.get(i).url }
+
+// WorkerGone reports whether worker i has been evicted from the fleet.
+func (c *Core) WorkerGone(i int) bool { return c.fleet.get(i).isGone() }
+
+// AddWorker admits a member to the fleet mid-run and returns its index. A
+// name that is already live is revived in place (failure state reset,
+// drain cleared) and reports added=false; a departed name gets a fresh
+// index with fresh scheduling state.
+func (c *Core) AddWorker(name string) (index int, added bool, err error) {
+	_, index, added, err = c.fleet.add(name)
+	if err != nil {
+		return 0, false, err
+	}
+	c.st.sizer.setSlots(c.fleet.liveCount() * c.cfg.Slots)
+	c.st.wakeAll()
+	return index, added, nil
+}
+
+// DropWorker evicts a member: it becomes a tombstone, every lease it holds
+// requeues immediately (no lease-timeout wait, no attempt-budget charge),
+// and its scheduling state — EWMA, dispatch histograms — retires so state
+// stays bounded by live membership. It reports how many shards requeued
+// and whether the name was a live member.
+func (c *Core) DropWorker(name string) (requeued int, ok bool) {
+	w, _, ok := c.fleet.drop(name)
+	if !ok {
+		return 0, false
+	}
+	requeued = c.st.evictLeases(w)
+	c.st.sizer.retire(w.url)
+	c.m.retire(w.url)
+	c.st.sizer.setSlots(c.fleet.liveCount() * c.cfg.Slots)
+	c.st.wakeAll()
+	return requeued, true
+}
+
+// SetWorkerDraining marks a live member as draining (holds its leases,
+// gets no new ones) or clears the drain. It reports whether the name was a
+// live member.
+func (c *Core) SetWorkerDraining(name string, draining bool) bool {
+	w, _, ok := c.fleet.byURL(name)
+	if !ok || w.isGone() {
+		return false
+	}
+	w.setDraining(draining)
+	if !draining {
+		c.st.wakeAll()
+	}
+	return true
+}
+
+// Backlog is the number of runnable units not yet merged — the autoscaling
+// advisor's demand signal.
+func (c *Core) Backlog() int {
+	c.st.mu.Lock()
+	defer c.st.mu.Unlock()
+	return c.st.unitsLeft
+}
+
+// MeanUnitSeconds is the live fleet's mean per-unit service time from the
+// adaptive sizer's EWMAs (0 before the first sample) — the autoscaling
+// advisor's rate signal.
+func (c *Core) MeanUnitSeconds() float64 { return c.st.sizer.meanPerUnit() }
 
 // Gate reports whether worker i may be handed a dispatch now; when not,
 // it returns how long to wait before asking again (backoff, Retry-After,
-// or breaker cooldown).
-func (c *Core) Gate(i int) (wait time.Duration, ok bool) { return c.workers[i].gate() }
+// breaker cooldown, or drain).
+func (c *Core) Gate(i int) (wait time.Duration, ok bool) { return c.fleet.get(i).gate() }
 
 // Acquire leases worker i its next dispatch: a requeued shard first, then
 // a fresh carve sized by the adaptive controller, then — when both are
 // drained — a straggler to hedge. ok is false when nothing is runnable
 // for this worker right now.
 func (c *Core) Acquire(i int) (l Lease, ok bool) {
-	w := c.workers[i]
+	w := c.fleet.get(i)
 	s, hedge := c.st.acquire(w, c.cfg.HedgeAfter)
 	if s == nil {
 		return Lease{}, false
@@ -119,13 +177,17 @@ func (c *Core) Acquire(i int) (l Lease, ok bool) {
 // Complete merges a successful dispatch that took elapsed: the worker's
 // failure state resets, the sizer observes the service time, and the
 // records deposit through the idempotent sink. first reports whether this
-// dispatch was the one that delivered the shard (hedge losers and
-// late duplicates return false). A sink error is fatal to the run.
+// dispatch was the one that delivered the shard (hedge losers and late
+// duplicates return false). A result arriving after the worker was evicted
+// is dropped without effect. A sink error is fatal to the run.
 func (c *Core) Complete(l Lease, batches [][]campaign.Record, elapsed time.Duration) (first bool, err error) {
+	first, live, err := c.st.complete(l.s, l.w, batches)
+	if !live {
+		return false, nil
+	}
 	c.m.observeShard(l.w.url, true, elapsed)
 	l.w.ok()
 	c.st.sizer.observe(l.w.url, l.Shard.Len(), elapsed)
-	first, err = c.st.complete(l.s, l.w, batches)
 	if err != nil {
 		c.st.fail(err)
 	}
@@ -135,12 +197,16 @@ func (c *Core) Complete(l Lease, batches [][]campaign.Record, elapsed time.Durat
 // Fail charges a failed dispatch: the worker backs off (honoring any
 // Retry-After carried by a *DispatchError) and the shard requeues unless a
 // hedge sibling still carries it — or the attempt budget is spent, which
-// fails the run. It reports whether the shard went back on the queue and
-// how many attempts it has burned.
+// fails the run. A failure arriving after the worker was evicted is
+// dropped without effect (its lease already requeued). It reports whether
+// the shard went back on the queue and how many attempts it has burned.
 func (c *Core) Fail(l Lease, err error, elapsed time.Duration) (requeued bool, attempts int) {
+	requeued, attempts, live := c.st.release(l.s, l.w, err)
+	if !live {
+		return false, attempts
+	}
 	c.m.observeShard(l.w.url, false, elapsed)
 	l.w.fail(err)
-	requeued, attempts = c.st.release(l.s, l.w, err)
 	if requeued {
 		c.m.retries.Add(1)
 	}
@@ -173,6 +239,7 @@ func (c *Core) Stats() Stats {
 		sizes = append([]int(nil), st.sizes...)
 	}
 	st.mu.Unlock()
+	workers := c.fleet.snapshot()
 	s := Stats{
 		Units:         units,
 		Shards:        carved,
@@ -182,11 +249,13 @@ func (c *Core) Stats() Stats {
 		Hedges:        c.m.hedges.Load(),
 		Reassignments: c.m.reassignments.Load(),
 		DedupDropped:  int64(st.sink.Deduped()),
-		WorkerShards:  make(map[string]int64, len(c.workers)),
+		WorkerShards:  make(map[string]int64, len(workers)),
 	}
 	s.ShardSizeMin, s.ShardSizeMedian, s.ShardSizeMax = summarizeSizes(sizes)
-	for _, w := range c.workers {
-		s.WorkerShards[w.url] = w.completions.Load()
+	for _, w := range workers {
+		// += so a member that departed and rejoined under the same name
+		// (two worker entries) reports one combined tally.
+		s.WorkerShards[w.url] += w.completions.Load()
 	}
 	return s
 }

@@ -70,23 +70,42 @@ func (m *metrics) observeShard(worker string, ok bool, d time.Duration) {
 	}
 }
 
+// retire drops a departed worker's dispatch counters and histogram so the
+// per-worker table is bounded by live membership, not by every worker ever
+// seen. A rejoining worker starts a fresh row.
+func (m *metrics) retire(worker string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.byWorker, worker)
+}
+
 // handleMetrics renders the Prometheus text format, same hand-rolled
 // stdlib-only style as oracled's /metrics.
 func (c *Coordinator) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	m := c.m
 
+	// live is the current fleet minus tombstones; per-worker gauges render
+	// one row per live member, so departed workers age out of the page.
+	var live []*worker
+	for _, wk := range c.fleet.snapshot() {
+		if !wk.isGone() {
+			live = append(live, wk)
+		}
+	}
+
 	var pending, inflight, done, carved, deduped int
 	var sizeMin, sizeMedian, sizeMax int
 	var perUnit map[string]float64
 	var whStats *warehouse.Stats
 	c.mu.Lock()
-	if st := c.cur; st != nil {
+	if ar := c.cur; ar != nil {
+		st := ar.core.st
 		pending, inflight, done, carved = st.counts()
 		deduped = st.sink.Deduped()
 		sizeMin, sizeMedian, sizeMax = st.sizeSummary()
-		perUnit = make(map[string]float64, len(c.workers))
-		for _, wk := range c.workers {
+		perUnit = make(map[string]float64, len(live))
+		for _, wk := range live {
 			perUnit[wk.url] = st.sizer.perUnit(wk.url)
 		}
 		if wh, ok := st.sink.(*warehouse.Warehouse); ok {
@@ -127,7 +146,7 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "oracleherd_shard_size_units{stat=\"max\"} %d\n", sizeMax)
 	fmt.Fprintf(w, "# HELP oracleherd_worker_unit_seconds EWMA of per-unit service time the adaptive sizer holds for each worker (0 before the first sample).\n")
 	fmt.Fprintf(w, "# TYPE oracleherd_worker_unit_seconds gauge\n")
-	for _, wk := range c.workers {
+	for _, wk := range live {
 		fmt.Fprintf(w, "oracleherd_worker_unit_seconds{worker=%q} %s\n", wk.url, formatFloat(perUnit[wk.url]))
 	}
 
@@ -151,7 +170,7 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 
 	fmt.Fprintf(w, "# HELP oracleherd_worker_up Latest health-probe outcome per worker.\n")
 	fmt.Fprintf(w, "# TYPE oracleherd_worker_up gauge\n")
-	for _, wk := range c.workers {
+	for _, wk := range live {
 		up := 0
 		if wk.health().up {
 			up = 1
@@ -160,12 +179,21 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 	fmt.Fprintf(w, "# HELP oracleherd_breaker_open Whether the worker's circuit breaker currently refuses dispatches.\n")
 	fmt.Fprintf(w, "# TYPE oracleherd_breaker_open gauge\n")
-	for _, wk := range c.workers {
+	for _, wk := range live {
 		open := 0
 		if wk.breakerOpen() {
 			open = 1
 		}
 		fmt.Fprintf(w, "oracleherd_breaker_open{worker=%q} %d\n", wk.url, open)
+	}
+	fmt.Fprintf(w, "# HELP oracleherd_worker_draining Whether the worker is draining: it keeps held leases but is handed no new ones.\n")
+	fmt.Fprintf(w, "# TYPE oracleherd_worker_draining gauge\n")
+	for _, wk := range live {
+		d := 0
+		if wk.isDraining() {
+			d = 1
+		}
+		fmt.Fprintf(w, "oracleherd_worker_draining{worker=%q} %d\n", wk.url, d)
 	}
 
 	m.mu.Lock()

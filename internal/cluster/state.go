@@ -224,10 +224,18 @@ func (st *runState) hedgeHorizon(hedgeAfter time.Duration) (time.Time, bool) {
 // release records a failed dispatch. The shard is requeued once no sibling
 // dispatch is still running and the shard has not completed meanwhile; a
 // shard out of attempts fails the whole run. It reports whether the shard
-// went back on the queue and its failure count so far.
-func (st *runState) release(s *shardState, w *worker, err error) (requeued bool, attempts int) {
+// went back on the queue and its failure count so far; live is false when
+// the dispatch had already been settled by a membership eviction, in which
+// case nothing is charged.
+func (st *runState) release(s *shardState, w *worker, err error) (requeued bool, attempts int, live bool) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	if !s.holders[w] {
+		// evictLeases already settled this dispatch: the holder entry is
+		// the lease, and it is gone. The late failure is an artifact of the
+		// eviction teardown, not new information about the shard.
+		return false, s.failures, false
+	}
 	s.inflight--
 	delete(s.holders, w)
 	s.lastFailed = w
@@ -238,33 +246,73 @@ func (st *runState) release(s *shardState, w *worker, err error) (requeued bool,
 	if s.done || s.inflight > 0 {
 		// A hedge sibling already delivered the shard or is still trying;
 		// nothing to requeue.
-		return false, s.failures
+		return false, s.failures, true
 	}
 	if s.failures >= st.maxAttempts {
 		st.fatal = fmt.Errorf("cluster: %v failed %d times, last error: %w", s.sh, s.failures, err)
 		st.closeDoneLocked()
 		st.wakeLocked()
-		return false, s.failures
+		return false, s.failures, true
 	}
 	s.hedged = false
 	st.pending = append(st.pending, s)
 	st.wakeLocked()
-	return true, s.failures
+	return true, s.failures, true
+}
+
+// evictLeases settles every lease the departing worker holds: the shard's
+// inflight count drops and — unless the shard is done or a hedge sibling
+// still carries it — it requeues immediately, without waiting out the
+// lease timeout and without charging the shard's attempt budget (eviction
+// is a membership event, not evidence about the shard). lastFailed is set
+// so the next lease counts as a reassignment. Results the worker delivers
+// after this are dropped by the holder checks in complete and release.
+func (st *runState) evictLeases(w *worker) (requeued int) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for s := range st.inflight {
+		if !s.holders[w] {
+			continue
+		}
+		delete(s.holders, w)
+		s.inflight--
+		if s.inflight == 0 {
+			delete(st.inflight, s)
+		}
+		if s.done || s.inflight > 0 {
+			continue
+		}
+		s.hedged = false
+		s.lastFailed = w
+		st.pending = append(st.pending, s)
+		requeued++
+	}
+	if requeued > 0 {
+		st.wakeLocked()
+	}
+	return requeued
 }
 
 // complete merges a successful dispatch. Every result is deposited — the
 // sink's idempotent merge keeps the first and counts the rest as dedup
 // drops — but only the first completion advances the done count and the
 // worker's tally. It reports whether this dispatch was the first to
-// deliver the shard.
-func (st *runState) complete(s *shardState, w *worker, batches [][]campaign.Record) (bool, error) {
+// deliver the shard; live is false when the dispatch had already been
+// settled by a membership eviction, in which case the late result is
+// dropped entirely (the requeued shard will be recomputed, and identical
+// records would dedup anyway).
+func (st *runState) complete(s *shardState, w *worker, batches [][]campaign.Record) (first bool, live bool, err error) {
 	st.mu.Lock()
+	if !s.holders[w] {
+		st.mu.Unlock()
+		return false, false, nil
+	}
 	s.inflight--
 	delete(s.holders, w)
 	if s.inflight == 0 {
 		delete(st.inflight, s)
 	}
-	first := !s.done
+	first = !s.done
 	s.done = true
 	if first {
 		st.doneCount++
@@ -278,11 +326,11 @@ func (st *runState) complete(s *shardState, w *worker, batches [][]campaign.Reco
 
 	for off, recs := range batches {
 		if err := st.sink.Deposit(s.sh.Start+off, recs); err != nil {
-			return first, err
+			return first, true, err
 		}
 	}
 	st.wakeAll()
-	return first, nil
+	return first, true, nil
 }
 
 func (st *runState) fail(err error) {

@@ -75,6 +75,14 @@ type worker struct {
 	probeErr    error
 	build       workerBuild
 	fingerprint string
+	// gone marks a worker evicted from the fleet: its struct stays behind
+	// as a tombstone so slot loops racing the eviction read a flag instead
+	// of a nil, but it is never gated work again and its index is retired.
+	gone bool
+	// draining marks a worker that answered its health probe with a
+	// draining status: it keeps its leases but is handed no new ones, and
+	// flips back to active if a later heartbeat clears the drain.
+	draining bool
 	// consecFails drives both backoff growth and the breaker; notBefore is
 	// the earliest next dispatch (backoff or Retry-After); openUntil is the
 	// breaker cooldown deadline; trialInFlight limits the half-open state
@@ -95,6 +103,16 @@ func (w *worker) gate() (wait time.Duration, ok bool) {
 	now := w.cfg.Clock.Now()
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.gone {
+		// Evicted: the slot loop exits as soon as it sees the tombstone;
+		// the wait only matters for a racing caller.
+		return time.Hour, false
+	}
+	if w.draining {
+		// No new leases while draining; poll on the breaker cadence in
+		// case a heartbeat reactivates the worker.
+		return w.cfg.BreakerCooldown, false
+	}
 	if now.Before(w.notBefore) {
 		return w.notBefore.Sub(now), false
 	}
@@ -179,6 +197,35 @@ func (w *worker) markUp() {
 	w.up = true
 }
 
+// retire turns the worker into a tombstone: evicted from the fleet, never
+// gated work again.
+func (w *worker) retire() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.gone = true
+	w.up = false
+}
+
+func (w *worker) isGone() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.gone
+}
+
+// setDraining flips the no-new-leases flag driven by draining health
+// probes and heartbeats.
+func (w *worker) setDraining(v bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.draining = v
+}
+
+func (w *worker) isDraining() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.draining
+}
+
 // probe GETs /healthz and records the outcome. An unreachable worker
 // starts with its breaker open, so dispatch skips it until a half-open
 // trial readmits it.
@@ -203,6 +250,10 @@ func (w *worker) probe(ctx context.Context) {
 	w.probeErr = nil
 	w.build = h.Build
 	w.fingerprint = h.CatalogFingerprint
+	// A worker that answers its probe with a draining status stays in the
+	// fleet but is handed no new leases until a later probe or heartbeat
+	// clears the drain.
+	w.draining = h.Status == "draining"
 }
 
 func (w *worker) getJSON(ctx context.Context, url string, dst any) error {

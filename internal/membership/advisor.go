@@ -1,0 +1,47 @@
+package membership
+
+import (
+	"math"
+	"time"
+)
+
+// Advice is one autoscaling recommendation: the fleet size that would
+// clear the remaining backlog within the target makespan at the observed
+// service rate, clamped to [Min, Max].
+type Advice struct {
+	// BacklogUnits is the campaign's runnable-units-remaining signal.
+	BacklogUnits int `json:"backlog_units"`
+	// UnitSeconds is the mean per-unit service time used for the estimate
+	// (the coordinator's sizer EWMA, falling back to heartbeat reports).
+	UnitSeconds float64 `json:"unit_seconds"`
+	// TargetSeconds is the makespan the recommendation aims for.
+	TargetSeconds float64 `json:"target_seconds"`
+	// RecommendedWorkers is the advised fleet size.
+	RecommendedWorkers int `json:"recommended_workers"`
+}
+
+// Recommend maps the live signals to a fleet size: the backlog represents
+// backlog×unitSeconds worker-seconds of remaining compute, so finishing
+// within target needs ceil(backlog×unitSeconds/target) workers. The answer
+// is clamped to [min, max] (min floors at 1; max ≤ 0 means uncapped).
+// Before the first service-time sample (unitSeconds 0) there is no rate to
+// extrapolate, and the clamp floor is returned.
+func Recommend(backlogUnits int, unitSeconds float64, target time.Duration, min, max int) int {
+	if min < 1 {
+		min = 1
+	}
+	if max > 0 && max < min {
+		max = min
+	}
+	rec := min
+	if backlogUnits > 0 && unitSeconds > 0 && target > 0 {
+		rec = int(math.Ceil(float64(backlogUnits) * unitSeconds / target.Seconds()))
+		if rec < min {
+			rec = min
+		}
+	}
+	if max > 0 && rec > max {
+		rec = max
+	}
+	return rec
+}

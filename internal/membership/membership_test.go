@@ -1,0 +1,331 @@
+package membership
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// tableClock is a manually advanced clock for driving TTL sweeps.
+type tableClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newTableClock() *tableClock {
+	return &tableClock{now: time.Unix(1000, 0)}
+}
+
+func (c *tableClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *tableClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func TestTableLifecycle(t *testing.T) {
+	clk := newTableClock()
+	var events []Event
+	tab := NewTable(Config{
+		TTL:     10 * time.Second,
+		Now:     clk.Now,
+		OnEvent: func(ev Event) { events = append(events, ev) },
+	})
+
+	m, err := tab.Join(JoinRequest{ID: "http://a", Fingerprint: "f", UnitSeconds: 0.5})
+	if err != nil {
+		t.Fatalf("join: %v", err)
+	}
+	if m.Status != StatusActive || m.UnitSeconds != 0.5 {
+		t.Fatalf("joined member = %+v", m)
+	}
+	if _, err := tab.Join(JoinRequest{ID: "http://b", Fingerprint: "f"}); err != nil {
+		t.Fatalf("join b: %v", err)
+	}
+	if tab.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tab.Len())
+	}
+
+	// A re-join refreshes in place: no duplicate member, no second join
+	// counter tick, no second join event.
+	if _, err := tab.Join(JoinRequest{ID: "http://a", Fingerprint: "f"}); err != nil {
+		t.Fatalf("re-join: %v", err)
+	}
+	if joins, _, _ := tab.Counters(); joins != 2 {
+		t.Fatalf("joins = %d, want 2", joins)
+	}
+
+	clk.Advance(3 * time.Second)
+	m, err = tab.Beat("http://a", Heartbeat{QueueDepth: 7, UnitSeconds: 0.25})
+	if err != nil {
+		t.Fatalf("beat: %v", err)
+	}
+	if m.QueueDepth != 7 || m.UnitSeconds != 0.25 || m.Heartbeats != 1 {
+		t.Fatalf("after beat: %+v", m)
+	}
+	if _, err := tab.Beat("http://nobody", Heartbeat{}); err != ErrUnknownMember {
+		t.Fatalf("beat unknown: err = %v, want ErrUnknownMember", err)
+	}
+
+	// Drain transition events fire on the flag's edges, not every beat.
+	tab.Beat("http://a", Heartbeat{Draining: true})
+	tab.Beat("http://a", Heartbeat{Draining: true})
+	tab.Beat("http://a", Heartbeat{})
+	if !tab.Leave("http://b") {
+		t.Fatal("leave b reported absent")
+	}
+	if tab.Leave("http://b") {
+		t.Fatal("second leave reported present")
+	}
+
+	kinds := make([]EventKind, len(events))
+	for i, ev := range events {
+		kinds[i] = ev.Kind
+	}
+	want := []EventKind{EventJoin, EventJoin, EventDrain, EventActivate, EventLeave}
+	if fmt.Sprint(kinds) != fmt.Sprint(want) {
+		t.Fatalf("event kinds = %v, want %v", kinds, want)
+	}
+}
+
+func TestJoinRejectsFingerprintSkew(t *testing.T) {
+	tab := NewTable(Config{Fingerprint: "good"})
+	if _, err := tab.Join(JoinRequest{ID: "http://a", Fingerprint: "bad"}); err == nil {
+		t.Fatal("skewed join accepted")
+	} else if _, ok := err.(*FingerprintError); !ok {
+		t.Fatalf("err = %T, want *FingerprintError", err)
+	}
+	skewOK := NewTable(Config{Fingerprint: "good", AllowSkew: true})
+	if _, err := skewOK.Join(JoinRequest{ID: "http://a", Fingerprint: "bad"}); err != nil {
+		t.Fatalf("AllowSkew join: %v", err)
+	}
+	if _, err := tab.Join(JoinRequest{ID: "", Fingerprint: "good"}); err == nil {
+		t.Fatal("empty-id join accepted")
+	}
+}
+
+func TestSweepEvictsSilentMembers(t *testing.T) {
+	clk := newTableClock()
+	var events []Event
+	tab := NewTable(Config{
+		TTL:     10 * time.Second,
+		Now:     clk.Now,
+		OnEvent: func(ev Event) { events = append(events, ev) },
+	})
+	tab.Join(JoinRequest{ID: "http://quiet"})
+	tab.Join(JoinRequest{ID: "http://chatty"})
+
+	clk.Advance(8 * time.Second)
+	tab.Beat("http://chatty", Heartbeat{})
+	if got := tab.Sweep(); len(got) != 0 {
+		t.Fatalf("sweep before TTL evicted %v", got)
+	}
+	clk.Advance(3 * time.Second) // quiet is 11s silent, chatty 3s
+	evicted := tab.Sweep()
+	if len(evicted) != 1 || evicted[0].ID != "http://quiet" {
+		t.Fatalf("sweep evicted %v, want just http://quiet", evicted)
+	}
+	if tab.Len() != 1 {
+		t.Fatalf("Len = %d after eviction, want 1", tab.Len())
+	}
+	if _, _, evictions := tab.Counters(); evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", evictions)
+	}
+	last := events[len(events)-1]
+	if last.Kind != EventEvict || last.Member.ID != "http://quiet" {
+		t.Fatalf("last event = %+v, want evict of http://quiet", last)
+	}
+	// An evicted worker's next beat is rejected — that is what makes the
+	// agent re-join.
+	if _, err := tab.Beat("http://quiet", Heartbeat{}); err != ErrUnknownMember {
+		t.Fatalf("beat after eviction: %v, want ErrUnknownMember", err)
+	}
+}
+
+// TestSweepProbeDrainingGetsGrace is the Retry-After propagation contract:
+// a silent member whose pre-eviction /healthz probe answers "draining" is
+// demoted to draining — no new leases — with max(TTL, Retry-After) grace,
+// instead of being evicted.
+func TestSweepProbeDrainingGetsGrace(t *testing.T) {
+	clk := newTableClock()
+	probes := map[string]ProbeResult{
+		"http://draining": {Reachable: true, Draining: true, RetryAfter: 30 * time.Second},
+		"http://alive":    {Reachable: true},
+		"http://dead":     {},
+	}
+	var events []Event
+	tab := NewTable(Config{
+		TTL:     10 * time.Second,
+		Now:     clk.Now,
+		Probe:   func(id string) ProbeResult { return probes[id] },
+		OnEvent: func(ev Event) { events = append(events, ev) },
+	})
+	for id := range probes {
+		tab.Join(JoinRequest{ID: id})
+	}
+
+	clk.Advance(11 * time.Second)
+	evicted := tab.Sweep()
+	if len(evicted) != 1 || evicted[0].ID != "http://dead" {
+		t.Fatalf("sweep evicted %v, want just http://dead", evicted)
+	}
+	m, ok := tab.Get("http://draining")
+	if !ok || m.Status != StatusDraining {
+		t.Fatalf("draining member = %+v ok=%v, want kept with StatusDraining", m, ok)
+	}
+	if m, ok := tab.Get("http://alive"); !ok || m.Status != StatusActive {
+		t.Fatalf("alive member = %+v ok=%v, want kept active", m, ok)
+	}
+
+	// The grace is Retry-After (30s) — longer than another TTL. 20s later
+	// the draining member is still held; 31s after the probe it is gone.
+	clk.Advance(20 * time.Second)
+	for _, ev := range tab.Sweep() {
+		if ev.ID == "http://draining" {
+			t.Fatal("draining member evicted inside its Retry-After grace")
+		}
+	}
+	probes["http://draining"] = ProbeResult{} // now truly gone
+	probes["http://alive"] = ProbeResult{}
+	clk.Advance(11 * time.Second)
+	evictedIDs := map[string]bool{}
+	for _, m := range tab.Sweep() {
+		evictedIDs[m.ID] = true
+	}
+	if !evictedIDs["http://draining"] {
+		t.Fatalf("draining member not evicted after its grace lapsed; evicted %v", evictedIDs)
+	}
+	if tab.Len() != 0 {
+		t.Fatalf("Len = %d at the end, want 0", tab.Len())
+	}
+
+	sawDrain := false
+	for _, ev := range events {
+		if ev.Kind == EventDrain && ev.Member.ID == "http://draining" {
+			sawDrain = true
+		}
+	}
+	if !sawDrain {
+		t.Fatal("no drain event for the probed draining member")
+	}
+}
+
+func TestMeanUnitSeconds(t *testing.T) {
+	tab := NewTable(Config{})
+	if got := tab.MeanUnitSeconds(); got != 0 {
+		t.Fatalf("empty mean = %v, want 0", got)
+	}
+	tab.Join(JoinRequest{ID: "a", UnitSeconds: 0.2})
+	tab.Join(JoinRequest{ID: "b", UnitSeconds: 0.4})
+	tab.Join(JoinRequest{ID: "c"}) // no sample yet; excluded
+	if got := tab.MeanUnitSeconds(); got < 0.299 || got > 0.301 {
+		t.Fatalf("mean = %v, want 0.3", got)
+	}
+}
+
+func TestRecommend(t *testing.T) {
+	cases := []struct {
+		backlog int
+		unitSec float64
+		target  time.Duration
+		min     int
+		max     int
+		want    int
+	}{
+		// 1000 units × 0.1s = 100 worker-seconds; 10s target → 10 workers.
+		{1000, 0.1, 10 * time.Second, 1, 0, 10},
+		// Ceiling: 101 worker-seconds over 10s → 11.
+		{1010, 0.1, 10 * time.Second, 1, 0, 11},
+		// Clamped to max.
+		{1000, 0.1, time.Second, 1, 16, 16},
+		// Clamped to min.
+		{1, 0.1, time.Hour, 2, 0, 2},
+		// No rate signal yet → min.
+		{1000, 0, 10 * time.Second, 3, 0, 3},
+		// Empty backlog → min.
+		{0, 0.1, 10 * time.Second, 1, 0, 1},
+		// min floors at 1.
+		{0, 0, time.Second, 0, 0, 1},
+	}
+	for _, c := range cases {
+		if got := Recommend(c.backlog, c.unitSec, c.target, c.min, c.max); got != c.want {
+			t.Errorf("Recommend(%d, %v, %v, %d, %d) = %d, want %d",
+				c.backlog, c.unitSec, c.target, c.min, c.max, got, c.want)
+		}
+	}
+}
+
+// FuzzMemberTable drives random join/beat/leave/sweep/advance scripts
+// through a table and checks the invariants that keep the coordinator
+// sane: counters are consistent with membership, every surviving member
+// was seen within TTL+grace, and snapshots stay sorted and duplicate-free.
+func FuzzMemberTable(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5})
+	f.Add([]byte{0, 0, 0, 16, 4, 16, 4, 1, 1, 2})
+	f.Add([]byte{5, 0, 5, 1, 5, 2, 16, 16, 16, 4, 4})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		clk := newTableClock()
+		const ttl = 10 * time.Second
+		tab := NewTable(Config{TTL: ttl, Fingerprint: "f", Now: clk.Now})
+		ids := []string{"http://w0", "http://w1", "http://w2", "http://w3"}
+		events := 0
+		tab.cfg.OnEvent = func(Event) { events++ }
+
+		for i := 0; i < len(script); i++ {
+			op := script[i] % 8
+			id := ids[int(script[i]/8)%len(ids)]
+			switch op {
+			case 0, 1:
+				if _, err := tab.Join(JoinRequest{ID: id, Fingerprint: "f"}); err != nil {
+					t.Fatalf("join %s: %v", id, err)
+				}
+			case 2, 3:
+				if _, err := tab.Beat(id, Heartbeat{QueueDepth: int(script[i]), Draining: op == 3}); err != nil && err != ErrUnknownMember {
+					t.Fatalf("beat %s: %v", id, err)
+				}
+			case 4:
+				tab.Leave(id)
+			case 5:
+				tab.Sweep()
+			case 6:
+				clk.Advance(time.Duration(script[i]) * time.Second / 4)
+			case 7:
+				clk.Advance(ttl + time.Second)
+			}
+
+			members := tab.Members()
+			if len(members) != tab.Len() {
+				t.Fatalf("Members() has %d entries, Len() says %d", len(members), tab.Len())
+			}
+			for j, m := range members {
+				if j > 0 && members[j-1].ID >= m.ID {
+					t.Fatalf("members not strictly sorted: %q then %q", members[j-1].ID, m.ID)
+				}
+				if clk.Now().Sub(m.LastSeen) > ttl+time.Second {
+					// Allowed until the next sweep runs; force one and
+					// verify it clears.
+					tab.Sweep()
+					if got, ok := tab.Get(m.ID); ok && clk.Now().Sub(got.LastSeen) > ttl+time.Second {
+						t.Fatalf("member %s survived a sweep %v past LastSeen", m.ID, clk.Now().Sub(got.LastSeen))
+					}
+				}
+			}
+			joins, leaves, evictions := tab.Counters()
+			if joins < 0 || leaves < 0 || evictions < 0 {
+				t.Fatalf("negative counters: %d %d %d", joins, leaves, evictions)
+			}
+			if int64(tab.Len()) > joins {
+				t.Fatalf("%d members but only %d joins", tab.Len(), joins)
+			}
+			if leaves+evictions > joins {
+				t.Fatalf("departures %d exceed joins %d", leaves+evictions, joins)
+			}
+		}
+	})
+}

@@ -1,0 +1,45 @@
+package membership
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// ProbeWorker is the default pre-eviction probe: one GET {id}/healthz. A
+// transport failure reads as unreachable (evict); a response whose status
+// field is "draining" reads as draining, with the Retry-After header — the
+// worker's bound on how long in-flight work may still take — as the grace
+// hint. Wire it into Config.Probe with the sweep's client and timeout.
+func ProbeWorker(ctx context.Context, client *http.Client, id string, timeout time.Duration) ProbeResult {
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, "GET", id+"/healthz", nil)
+	if err != nil {
+		return ProbeResult{}
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return ProbeResult{}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return ProbeResult{}
+	}
+	var h struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return ProbeResult{}
+	}
+	out := ProbeResult{Reachable: true, Draining: h.Status == "draining"}
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+		out.RetryAfter = time.Duration(secs) * time.Second
+	}
+	return out
+}

@@ -1,0 +1,229 @@
+package membership
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	return resp
+}
+
+func TestServerEndpoints(t *testing.T) {
+	clk := newTableClock()
+	tab := NewTable(Config{TTL: 10 * time.Second, Fingerprint: "fp", Now: clk.Now})
+	srv := &Server{Table: tab, Advise: func() Advice {
+		return Advice{BacklogUnits: 120, UnitSeconds: 0.5, TargetSeconds: 30, RecommendedWorkers: 2}
+	}}
+	mux := http.NewServeMux()
+	srv.Routes(mux)
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	resp := postJSON(t, ts.URL+"/v1/fleet/join", JoinRequest{ID: "http://w1", Fingerprint: "fp"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("join status = %d", resp.StatusCode)
+	}
+	var m Member
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatalf("decode join: %v", err)
+	}
+	resp.Body.Close()
+	if m.ID != "http://w1" || m.Status != StatusActive {
+		t.Fatalf("joined member = %+v", m)
+	}
+
+	// Catalog skew is a 409 — the agent treats it as fatal.
+	resp = postJSON(t, ts.URL+"/v1/fleet/join", JoinRequest{ID: "http://w2", Fingerprint: "other"})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("skewed join status = %d, want 409", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	resp = postJSON(t, ts.URL+"/v1/fleet/heartbeat", heartbeatRequest{ID: "http://w1", QueueDepth: 3, UnitSeconds: 0.5})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("heartbeat status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp = postJSON(t, ts.URL+"/v1/fleet/heartbeat", heartbeatRequest{ID: "http://stranger"})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown heartbeat status = %d, want 404", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	fleet, err := http.Get(ts.URL + "/v1/fleet")
+	if err != nil {
+		t.Fatalf("GET /v1/fleet: %v", err)
+	}
+	var fr fleetResponse
+	if err := json.NewDecoder(fleet.Body).Decode(&fr); err != nil {
+		t.Fatalf("decode fleet: %v", err)
+	}
+	fleet.Body.Close()
+	if len(fr.Members) != 1 || fr.Members[0].QueueDepth != 3 {
+		t.Fatalf("fleet members = %+v", fr.Members)
+	}
+	if fr.Advice == nil || fr.Advice.RecommendedWorkers != 2 {
+		t.Fatalf("fleet advice = %+v", fr.Advice)
+	}
+
+	var buf bytes.Buffer
+	srv.WriteMetrics(&buf)
+	metrics := buf.String()
+	for _, want := range []string{
+		"oracleherd_fleet_members 1",
+		"oracleherd_fleet_joins_total 1",
+		"oracleherd_fleet_evictions_total 0",
+		"oracleherd_fleet_recommended_workers 2",
+		"oracleherd_fleet_backlog_units 120",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	resp = postJSON(t, ts.URL+"/v1/fleet/leave", leaveRequest{ID: "http://w1"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("leave status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	if tab.Len() != 0 {
+		t.Fatalf("Len = %d after leave, want 0", tab.Len())
+	}
+}
+
+// TestAgentLifecycle runs a real Agent against a real Server: it must join,
+// heartbeat with the Report signals, re-join automatically after an
+// eviction, and deregister on Leave.
+func TestAgentLifecycle(t *testing.T) {
+	clk := newTableClock()
+	tab := NewTable(Config{TTL: 10 * time.Second, Fingerprint: "fp", Now: clk.Now})
+	srv := &Server{Table: tab}
+	mux := http.NewServeMux()
+	srv.Routes(mux)
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	ag := &Agent{
+		Coordinator: ts.URL,
+		ID:          "http://worker-1",
+		Fingerprint: "fp",
+		Interval:    5 * time.Millisecond,
+		Report:      func() Heartbeat { return Heartbeat{QueueDepth: 4, UnitSeconds: 0.125} },
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- ag.Run(ctx) }()
+
+	waitFor := func(desc string, cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s", desc)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	waitFor("join + first heartbeat", func() bool {
+		m, ok := tab.Get("http://worker-1")
+		return ok && m.Heartbeats >= 1 && m.QueueDepth == 4
+	})
+
+	// Evict it behind the agent's back; the next heartbeat's 404 must
+	// trigger an immediate re-join.
+	clk.Advance(11 * time.Second)
+	tab.Sweep()
+	if tab.Len() != 0 {
+		t.Fatal("manual sweep did not evict")
+	}
+	waitFor("automatic re-join after eviction", func() bool {
+		_, ok := tab.Get("http://worker-1")
+		return ok
+	})
+
+	cancel()
+	if err := <-done; err != context.Canceled {
+		t.Fatalf("Run returned %v, want context.Canceled", err)
+	}
+	if err := ag.Leave(context.Background()); err != nil {
+		t.Fatalf("leave: %v", err)
+	}
+	if tab.Len() != 0 {
+		t.Fatalf("Len = %d after Leave, want 0", tab.Len())
+	}
+	if _, leaves, _ := tab.Counters(); leaves != 1 {
+		t.Fatalf("leaves = %d, want 1", leaves)
+	}
+}
+
+// TestAgentConflictIsFatal: a fingerprint-skewed worker must not retry
+// forever — Run returns the 409 as a hard error.
+func TestAgentConflictIsFatal(t *testing.T) {
+	tab := NewTable(Config{Fingerprint: "fp"})
+	srv := &Server{Table: tab}
+	mux := http.NewServeMux()
+	srv.Routes(mux)
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	ag := &Agent{Coordinator: ts.URL, ID: "http://w", Fingerprint: "stale", Interval: time.Millisecond}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	err := ag.Run(ctx)
+	if err == nil || !isConflict(err) {
+		t.Fatalf("Run = %v, want 409 conflict error", err)
+	}
+}
+
+func TestProbeWorker(t *testing.T) {
+	state := struct {
+		status     string
+		retryAfter string
+	}{status: "ok"}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/healthz" {
+			http.NotFound(w, r)
+			return
+		}
+		if state.retryAfter != "" {
+			w.Header().Set("Retry-After", state.retryAfter)
+		}
+		json.NewEncoder(w).Encode(map[string]string{"status": state.status})
+	}))
+	defer ts.Close()
+	client := ts.Client()
+
+	pr := ProbeWorker(context.Background(), client, ts.URL, time.Second)
+	if !pr.Reachable || pr.Draining || pr.RetryAfter != 0 {
+		t.Fatalf("healthy probe = %+v", pr)
+	}
+	state.status = "draining"
+	state.retryAfter = "45"
+	pr = ProbeWorker(context.Background(), client, ts.URL, time.Second)
+	if !pr.Reachable || !pr.Draining || pr.RetryAfter != 45*time.Second {
+		t.Fatalf("draining probe = %+v", pr)
+	}
+	ts.Close()
+	pr = ProbeWorker(context.Background(), client, ts.URL, time.Second)
+	if pr.Reachable {
+		t.Fatalf("probe of a dead server = %+v, want unreachable", pr)
+	}
+}

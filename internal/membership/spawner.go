@@ -1,0 +1,134 @@
+package membership
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// Spawner turns autoscaling advice into local oracled processes: Scale(n)
+// launches or terminates copies of a shell command until n of its own
+// spawns are alive. It only ever manages processes it started — a fleet
+// mixing spawned and externally managed workers scales just the spawned
+// part — and it stops the newest first, which under the join protocol is
+// the member holding the least work.
+//
+// The command runs under "sh -c" with FLEET_INDEX set to the spawn's
+// ordinal, so a template like
+//
+//	oracled -addr 127.0.0.1:$((9000+FLEET_INDEX)) -join http://127.0.0.1:8090
+//
+// gives each spawn its own port. Stopping sends SIGTERM and lets oracled's
+// own drain path deregister cleanly.
+type Spawner struct {
+	// Command is the sh -c template; empty disables the spawner.
+	Command string
+	// Max caps concurrent spawns (default 8) regardless of what the
+	// advisor asks for.
+	Max int
+	// Logf, when set, receives spawn/stop lines.
+	Logf func(format string, args ...any)
+
+	mu     sync.Mutex
+	next   int
+	procs  []*exec.Cmd
+	closed bool
+}
+
+func (sp *Spawner) max() int {
+	if sp.Max > 0 {
+		return sp.Max
+	}
+	return 8
+}
+
+func (sp *Spawner) logf(format string, args ...any) {
+	if sp.Logf != nil {
+		sp.Logf(format, args...)
+	}
+}
+
+// Alive reports how many spawns are currently running (reaping any that
+// exited on their own).
+func (sp *Spawner) Alive() int {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	sp.reapLocked()
+	return len(sp.procs)
+}
+
+// reapLocked drops spawns whose process has exited.
+func (sp *Spawner) reapLocked() {
+	kept := sp.procs[:0]
+	for _, p := range sp.procs {
+		if p.ProcessState == nil {
+			kept = append(kept, p)
+		}
+	}
+	sp.procs = kept
+}
+
+// Scale launches or stops spawns until n (clamped to [0, Max]) of them are
+// alive. It returns how many are alive after the adjustment.
+func (sp *Spawner) Scale(n int) (alive int, err error) {
+	if sp.Command == "" {
+		return 0, nil
+	}
+	if n < 0 {
+		n = 0
+	}
+	if n > sp.max() {
+		n = sp.max()
+	}
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if sp.closed {
+		return len(sp.procs), nil
+	}
+	sp.reapLocked()
+	for len(sp.procs) < n {
+		cmd := exec.Command("/bin/sh", "-c", sp.Command)
+		cmd.Env = append(os.Environ(), fmt.Sprintf("FLEET_INDEX=%d", sp.next))
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if startErr := cmd.Start(); startErr != nil {
+			return len(sp.procs), fmt.Errorf("membership: spawning worker: %w", startErr)
+		}
+		sp.logf("membership: spawned worker %d (pid %d)", sp.next, cmd.Process.Pid)
+		sp.next++
+		sp.procs = append(sp.procs, cmd)
+		go cmd.Wait() // reap; ProcessState flips when the spawn exits
+	}
+	for len(sp.procs) > n {
+		p := sp.procs[len(sp.procs)-1]
+		sp.procs = sp.procs[:len(sp.procs)-1]
+		sp.logf("membership: stopping worker pid %d", p.Process.Pid)
+		p.Process.Signal(syscall.SIGTERM)
+	}
+	return len(sp.procs), nil
+}
+
+// StopAll terminates every spawn (SIGTERM, then SIGKILL after grace) and
+// refuses further scaling.
+func (sp *Spawner) StopAll(grace time.Duration) {
+	sp.mu.Lock()
+	sp.closed = true
+	procs := sp.procs
+	sp.procs = nil
+	sp.mu.Unlock()
+	for _, p := range procs {
+		p.Process.Signal(syscall.SIGTERM)
+	}
+	deadline := time.Now().Add(grace)
+	for _, p := range procs {
+		for p.ProcessState == nil && time.Now().Before(deadline) {
+			time.Sleep(50 * time.Millisecond)
+		}
+		if p.ProcessState == nil {
+			p.Process.Kill()
+		}
+	}
+}

@@ -579,9 +579,18 @@ type healthResponse struct {
 	CatalogFingerprint string    `json:"catalog_fingerprint"`
 }
 
-func (s *Server) handleHealthz(http.ResponseWriter, *http.Request) (any, error) {
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) (any, error) {
+	status := "ok"
+	if s.Draining() {
+		// A draining worker stays reachable — the coordinator marks it
+		// draining instead of evicting it — and the Retry-After bound says
+		// how long its in-flight work may still take.
+		status = "draining"
+		retry := int64((s.drainRetryAfter() + time.Second - 1) / time.Second)
+		w.Header().Set("Retry-After", strconv.FormatInt(retry, 10))
+	}
 	return &healthResponse{
-		Status:             "ok",
+		Status:             status,
 		QueueDepth:         s.metrics.queued.Load(),
 		QueueCapacity:      s.cfg.QueueDepth,
 		Executing:          s.metrics.executing.Load(),

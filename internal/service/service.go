@@ -175,7 +175,13 @@ type Server struct {
 	// lane consults it so a stopped server sheds repeats like any other
 	// request instead of answering from cache.
 	draining atomic.Bool
-	workers  sync.WaitGroup
+	// drain is the voluntary pre-shutdown flag (BeginDrain): the server
+	// keeps executing but advertises "draining" so an elastic coordinator
+	// stops handing it new leases. See fleet.go.
+	drain atomic.Bool
+	// unitSecBits holds the per-unit shard service-time EWMA as float bits.
+	unitSecBits atomic.Uint64
+	workers     sync.WaitGroup
 
 	// testHook, when set (by tests in this package), runs in a worker
 	// goroutine right before a job executes — the lever overload tests use

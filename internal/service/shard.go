@@ -107,6 +107,7 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) (any, error
 			return nil, badRequest("%v", err)
 		}
 		s.metrics.shardUnits.Add(int64(sh.Len()))
+		s.observeUnitSeconds(time.Since(start).Seconds() / float64(sh.Len()))
 		return &shardResponse{
 			SpecHash: spec.Hash(),
 			Start:    req.Start,
