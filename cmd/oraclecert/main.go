@@ -1,0 +1,128 @@
+// Command oraclecert provisions the certificates an mTLS oracle fleet
+// needs, using only the standard library (internal/tenant):
+//
+//	oraclecert ca   -dir certs [-name fleet-ca]
+//	oraclecert cert -dir certs -name worker1 [-hosts 127.0.0.1,localhost]
+//	                [-ca fleet-ca]
+//
+// `ca` writes a self-signed ECDSA P-256 certificate authority
+// (NAME.pem/NAME.key). `cert` issues a leaf signed by that CA, valid for
+// both server and client authentication — the same keypair lets an oracled
+// serve TLS and present itself to the coordinator (and vice versa) — with
+// the given DNS names and IP addresses as subject alternative names.
+//
+// A minimal two-node setup:
+//
+//	oraclecert ca -dir certs
+//	oraclecert cert -dir certs -name herd
+//	oraclecert cert -dir certs -name worker
+//	oracled -addr :8080 -tls-cert certs/worker.pem -tls-key certs/worker.key \
+//	        -tls-client-ca certs/fleet-ca.pem -tls-ca certs/fleet-ca.pem
+//	oracleherd -workers https://127.0.0.1:8080 -tls-cert certs/herd.pem \
+//	        -tls-key certs/herd.key -tls-ca certs/fleet-ca.pem -quick -out r.jsonl
+//
+// See docs/TENANCY.md for the full multi-tenant and mTLS walkthrough.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"oraclesize/internal/tenant"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, out, errOut io.Writer) int {
+	if len(args) < 1 {
+		usage(errOut)
+		return 2
+	}
+	switch args[0] {
+	case "ca":
+		return runCA(args[1:], out, errOut)
+	case "cert":
+		return runCert(args[1:], out, errOut)
+	case "-h", "-help", "--help", "help":
+		usage(out)
+		return 0
+	default:
+		fmt.Fprintf(errOut, "oraclecert: unknown subcommand %q\n", args[0])
+		usage(errOut)
+		return 2
+	}
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, "usage: oraclecert ca   -dir DIR [-name fleet-ca]")
+	fmt.Fprintln(w, "       oraclecert cert -dir DIR -name NAME [-hosts H1,H2] [-ca fleet-ca]")
+}
+
+func runCA(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("oraclecert ca", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	dir := fs.String("dir", "", "directory to write NAME.pem and NAME.key into")
+	name := fs.String("name", "fleet-ca", "basename and common name of the authority")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *dir == "" {
+		fmt.Fprintln(errOut, "oraclecert: ca needs -dir")
+		return 2
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		fmt.Fprintf(errOut, "oraclecert: %v\n", err)
+		return 1
+	}
+	ca, err := tenant.GenerateCA(*dir, *name)
+	if err != nil {
+		fmt.Fprintf(errOut, "oraclecert: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(out, "oraclecert: CA written to %s and %s\n", ca.Cert, ca.Key)
+	return 0
+}
+
+func runCert(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("oraclecert cert", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	dir := fs.String("dir", "", "directory holding the CA; the leaf is written alongside it")
+	name := fs.String("name", "", "basename and common name of the leaf certificate")
+	hosts := fs.String("hosts", "127.0.0.1,localhost", "comma-separated DNS names and IPs for the subject alternative names")
+	caName := fs.String("ca", "fleet-ca", "basename of the signing CA inside -dir")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *dir == "" || *name == "" {
+		fmt.Fprintln(errOut, "oraclecert: cert needs -dir and -name")
+		return 2
+	}
+	var sans []string
+	for _, h := range strings.Split(*hosts, ",") {
+		if h = strings.TrimSpace(h); h != "" {
+			sans = append(sans, h)
+		}
+	}
+	if len(sans) == 0 {
+		fmt.Fprintln(errOut, "oraclecert: -hosts must name at least one DNS name or IP")
+		return 2
+	}
+	ca := tenant.CertPaths{
+		Cert: filepath.Join(*dir, *caName+".pem"),
+		Key:  filepath.Join(*dir, *caName+".key"),
+	}
+	leaf, err := tenant.IssueCert(*dir, *name, ca, sans)
+	if err != nil {
+		fmt.Fprintf(errOut, "oraclecert: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(out, "oraclecert: certificate for %s written to %s and %s\n",
+		strings.Join(sans, ","), leaf.Cert, leaf.Key)
+	return 0
+}

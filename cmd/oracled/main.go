@@ -38,6 +38,7 @@ import (
 	"oraclesize/internal/catalog"
 	"oraclesize/internal/membership"
 	"oraclesize/internal/service"
+	"oraclesize/internal/tenant"
 )
 
 func main() {
@@ -47,43 +48,60 @@ func main() {
 // advertiseFromAddr derives the base URL a coordinator can reach this
 // daemon at from the listen address: ":8080" becomes
 // "http://127.0.0.1:8080", "10.0.0.5:8080" is used as-is. Multi-host
-// deployments should pass -advertise explicitly.
-func advertiseFromAddr(addr string) string {
+// deployments should pass -advertise explicitly. scheme is "http" or
+// "https" depending on whether the daemon serves TLS.
+func advertiseFromAddr(addr, scheme string) string {
 	host, port, err := net.SplitHostPort(addr)
 	if err != nil {
-		return "http://" + addr
+		return scheme + "://" + addr
 	}
 	if host == "" || host == "::" || host == "0.0.0.0" {
 		host = "127.0.0.1"
 	}
-	return "http://" + net.JoinHostPort(host, port)
+	return scheme + "://" + net.JoinHostPort(host, port)
 }
 
 func run(args []string, out, errOut io.Writer) int {
 	fs := flag.NewFlagSet("oracled", flag.ContinueOnError)
 	fs.SetOutput(errOut)
 	var (
-		addr       = fs.String("addr", ":8080", "listen address")
-		workers    = fs.Int("workers", 0, "simulation workers (0 = GOMAXPROCS)")
-		queue      = fs.Int("queue", 64, "work queue depth; a full queue sheds load with 503")
-		timeout    = fs.Duration("timeout", 30*time.Second, "per-request deadline (queue wait + execution)")
-		drain      = fs.Duration("drain", 15*time.Second, "graceful shutdown drain budget")
-		maxNodes   = fs.Int("max-nodes", 4096, "largest accepted n")
-		maxEdges   = fs.Int("max-edges", 1<<20, "largest accepted instance edge count")
-		cache      = fs.Int("cache", 128, "instance cache capacity (entries)")
-		artifact   = fs.String("artifacts", "", "campaign artifact directory (default: OS temp dir)")
-		shardUnits = fs.Int("max-shard-units", 1<<10, "largest unit batch accepted by POST /v1/shard")
-		batchMax   = fs.Int("batch-max", 0, "max queued requests one worker drains per wakeup (0 = default 16)")
-		cacheSh    = fs.Int("cache-shards", 0, "instance cache shard count (0 = default 8)")
-		metricsSh  = fs.Int("metrics-shards", 0, "latency histogram shard count (0 = default 8)")
-		respCache  = fs.Int("response-cache", 0, "response cache capacity in entries (0 = default 4096, negative disables)")
-		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = off)")
-		joinURL    = fs.String("join", "", "register with this oracleherd fleet endpoint (its -listen address) and heartbeat until shutdown")
-		advertise  = fs.String("advertise", "", "base URL the coordinator should dispatch to (default derived from -addr)")
-		heartbeat  = fs.Duration("heartbeat", 2*time.Second, "membership heartbeat cadence when -join is set")
+		addr        = fs.String("addr", ":8080", "listen address")
+		workers     = fs.Int("workers", 0, "simulation workers (0 = GOMAXPROCS)")
+		queue       = fs.Int("queue", 64, "work queue depth; a full queue sheds load with 503")
+		timeout     = fs.Duration("timeout", 30*time.Second, "per-request deadline (queue wait + execution)")
+		drain       = fs.Duration("drain", 15*time.Second, "graceful shutdown drain budget")
+		maxNodes    = fs.Int("max-nodes", 4096, "largest accepted n")
+		maxEdges    = fs.Int("max-edges", 1<<20, "largest accepted instance edge count")
+		cache       = fs.Int("cache", 128, "instance cache capacity (entries)")
+		artifact    = fs.String("artifacts", "", "campaign artifact directory (default: OS temp dir)")
+		shardUnits  = fs.Int("max-shard-units", 1<<10, "largest unit batch accepted by POST /v1/shard")
+		batchMax    = fs.Int("batch-max", 0, "max queued requests one worker drains per wakeup (0 = default 16)")
+		cacheSh     = fs.Int("cache-shards", 0, "instance cache shard count (0 = default 8)")
+		metricsSh   = fs.Int("metrics-shards", 0, "latency histogram shard count (0 = default 8)")
+		respCache   = fs.Int("response-cache", 0, "response cache capacity in entries (0 = default 4096, negative disables)")
+		pprofAddr   = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = off)")
+		joinURL     = fs.String("join", "", "register with this oracleherd fleet endpoint (its -listen address) and heartbeat until shutdown")
+		advertise   = fs.String("advertise", "", "base URL the coordinator should dispatch to (default derived from -addr)")
+		heartbeat   = fs.Duration("heartbeat", 2*time.Second, "membership heartbeat cadence when -join is set")
+		keyfile     = fs.String("keyfile", "", "tenant keyfile (JSON); enables API-key auth, per-tenant quotas, and weighted-fair scheduling")
+		tlsCert     = fs.String("tls-cert", "", "serve TLS with this certificate (PEM); also presented as client identity to the coordinator")
+		tlsKey      = fs.String("tls-key", "", "private key for -tls-cert")
+		tlsClientCA = fs.String("tls-client-ca", "", "require client certificates signed by this CA (mutual TLS)")
+		tlsCA       = fs.String("tls-ca", "", "trust coordinator certificates signed by this CA when joining over https")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	var registry *tenant.Registry
+	if *keyfile != "" {
+		r, err := tenant.LoadKeyfile(*keyfile)
+		if err != nil {
+			fmt.Fprintf(errOut, "oracled: %v\n", err)
+			return 2
+		}
+		registry = r
+		fmt.Fprintf(out, "oracled: multi-tenant mode, %d tenants\n", len(r.Tenants()))
 	}
 
 	svc := service.New(service.Config{
@@ -99,6 +117,7 @@ func run(args []string, out, errOut io.Writer) int {
 		CacheShards:           *cacheSh,
 		MetricsShards:         *metricsSh,
 		ResponseCacheCapacity: *respCache,
+		Tenants:               registry,
 	})
 
 	if *pprofAddr != "" {
@@ -126,13 +145,29 @@ func run(args []string, out, errOut io.Writer) int {
 		Handler:           svc.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
+	scheme := "http"
+	if *tlsCert != "" {
+		tlsCfg, err := tenant.ServerTLS(*tlsCert, *tlsKey, *tlsClientCA)
+		if err != nil {
+			fmt.Fprintf(errOut, "oracled: %v\n", err)
+			return 2
+		}
+		httpSrv.TLSConfig = tlsCfg
+		scheme = "https"
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	serveErr := make(chan error, 1)
-	go func() { serveErr <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(out, "oracled listening on %s\n", *addr)
+	go func() {
+		if scheme == "https" {
+			serveErr <- httpSrv.ListenAndServeTLS("", "")
+		} else {
+			serveErr <- httpSrv.ListenAndServe()
+		}
+	}()
+	fmt.Fprintf(out, "oracled listening on %s (%s)\n", *addr, scheme)
 
 	// With -join the daemon is an elastic fleet member: it registers with
 	// the coordinator, heartbeats its load signals, and re-joins on its own
@@ -145,7 +180,7 @@ func run(args []string, out, errOut io.Writer) int {
 	if *joinURL != "" {
 		id := *advertise
 		if id == "" {
-			id = advertiseFromAddr(*addr)
+			id = advertiseFromAddr(*addr, scheme)
 		}
 		b := service.Build()
 		agent = &membership.Agent{
@@ -164,6 +199,19 @@ func run(args []string, out, errOut io.Writer) int {
 				return membership.Heartbeat{QueueDepth: depth, UnitSeconds: unitSec, Draining: draining}
 			},
 			Logf: func(format string, a ...any) { fmt.Fprintf(errOut, format+"\n", a...) },
+		}
+		if *tlsCA != "" || *tlsCert != "" {
+			// Joining an mTLS coordinator: trust its CA and present our own
+			// certificate as client identity on every join/heartbeat/leave.
+			clientCfg, err := tenant.ClientTLS(*tlsCert, *tlsKey, *tlsCA)
+			if err != nil {
+				fmt.Fprintf(errOut, "oracled: %v\n", err)
+				return 2
+			}
+			agent.Client = &http.Client{
+				Timeout:   5 * time.Second,
+				Transport: &http.Transport{TLSClientConfig: clientCfg},
+			}
 		}
 		go func() { agentDone <- agent.Run(agentCtx) }()
 		fmt.Fprintf(out, "oracled joining fleet %s as %s\n", *joinURL, id)

@@ -113,6 +113,10 @@ type Config struct {
 	// client with no global timeout; per-dispatch contexts bound every
 	// call).
 	Client *http.Client
+	// APIKey, when non-empty, is sent as X-API-Key on every worker call so
+	// multi-tenant workers (oracled -keyfile) can authenticate and meter
+	// the coordinator like any other tenant.
+	APIKey string
 	// Clock abstracts time for backoff, breakers, hedging and latency
 	// observation (default: the real time package). Tests and fleetsim
 	// substitute virtual clocks; production code never sets it.

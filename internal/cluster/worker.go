@@ -261,6 +261,9 @@ func (w *worker) getJSON(ctx context.Context, url string, dst any) error {
 	if err != nil {
 		return err
 	}
+	if w.cfg.APIKey != "" {
+		req.Header.Set("X-API-Key", w.cfg.APIKey)
+	}
 	resp, err := w.cfg.Client.Do(req)
 	if err != nil {
 		return err
@@ -288,6 +291,9 @@ func (w *worker) dispatch(ctx context.Context, spec *campaign.Spec, sh campaign.
 		return nil, fmt.Errorf("cluster: building request for %v: %w", sh, err)
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if w.cfg.APIKey != "" {
+		req.Header.Set("X-API-Key", w.cfg.APIKey)
+	}
 	resp, err := w.cfg.Client.Do(req)
 	if err != nil {
 		return nil, &DispatchError{Err: fmt.Errorf("cluster: %v on %s: %w", sh, w.url, err)}

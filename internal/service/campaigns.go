@@ -31,6 +31,7 @@ type campaignManager struct {
 // campaignRun tracks one submitted campaign through its lifecycle.
 type campaignRun struct {
 	id       string
+	owner    *tenantState
 	spec     *campaign.Spec
 	artifact string
 	units    int
@@ -86,9 +87,9 @@ type campaignSubmitResponse struct {
 	Status   string `json:"status"`
 }
 
-func (s *Server) handleCampaignSubmit(w http.ResponseWriter, r *http.Request) (any, error) {
+func (s *Server) handleCampaignSubmit(w http.ResponseWriter, r *http.Request, ts *tenantState) (any, error) {
 	var spec campaign.Spec
-	if err := s.decodeBody(w, r, &spec); err != nil {
+	if err := s.decodeBody(w, r, &spec, ts); err != nil {
 		return nil, err
 	}
 	if err := spec.Validate(); err != nil {
@@ -97,23 +98,32 @@ func (s *Server) handleCampaignSubmit(w http.ResponseWriter, r *http.Request) (a
 	// Count arithmetically before compiling: Units() materializes the full
 	// cross product, so an over-cap spec must be rejected without it — a
 	// small body requesting billions of trials would otherwise allocate
-	// billions of Unit structs before the cap check.
+	// billions of Unit structs before the cap check. The cap is the server
+	// limit tightened by the tenant's own unit quota.
 	units := spec.UnitCount()
-	if units > int64(s.cfg.MaxCampaignUnits) {
-		return nil, badRequest("campaign compiles to %d units, cap is %d", units, s.cfg.MaxCampaignUnits)
+	if limit := s.unitLimit(ts); units > int64(limit) {
+		return nil, badRequest("campaign compiles to %d units, cap is %d", units, limit)
 	}
-	return s.campaigns.submit(&spec, int(units))
+	return s.campaigns.submit(ts, &spec, int(units))
 }
 
 // submit registers the campaign and starts it, enforcing the concurrent
-// campaign cap. The returned response carries the poll ID.
-func (cm *campaignManager) submit(spec *campaign.Spec, units int) (any, error) {
+// campaign caps: the tenant's own cap throttles (429) while the global cap
+// sheds (503). The returned response carries the poll ID.
+func (cm *campaignManager) submit(ts *tenantState, spec *campaign.Spec, units int) (any, error) {
 	dir, err := cm.artifactDir()
 	if err != nil {
 		return nil, err
 	}
 
 	cm.mu.Lock()
+	if ts.maxCampaigns > 0 && ts.campaigns.Load() >= int64(ts.maxCampaigns) {
+		cm.mu.Unlock()
+		return nil, &throttleError{
+			retryAfter: cm.s.cfg.RetryAfter,
+			msg:        fmt.Sprintf("tenant campaign cap reached (%d running)", ts.maxCampaigns),
+		}
+	}
 	if cm.active.Load() >= int64(cm.s.cfg.MaxCampaigns) {
 		cm.mu.Unlock()
 		return nil, fmt.Errorf("%w: %d campaigns already running", errBusy, cm.s.cfg.MaxCampaigns)
@@ -122,6 +132,7 @@ func (cm *campaignManager) submit(spec *campaign.Spec, units int) (any, error) {
 	id := fmt.Sprintf("c%04d-%s", cm.seq, spec.Hash()[:8])
 	run := &campaignRun{
 		id:       id,
+		owner:    ts,
 		spec:     spec,
 		artifact: filepath.Join(dir, id+".jsonl"),
 		units:    units,
@@ -129,6 +140,7 @@ func (cm *campaignManager) submit(spec *campaign.Spec, units int) (any, error) {
 	}
 	cm.runs[id] = run
 	cm.active.Add(1)
+	ts.campaigns.Add(1)
 	cm.wg.Add(1)
 	cm.mu.Unlock()
 
@@ -148,6 +160,7 @@ func (cm *campaignManager) submit(spec *campaign.Spec, units int) (any, error) {
 func (cm *campaignManager) execute(run *campaignRun) {
 	defer cm.wg.Done()
 	defer cm.active.Add(-1)
+	defer run.owner.campaigns.Add(-1)
 
 	stats, err := cm.runToArtifact(run)
 
@@ -209,7 +222,7 @@ type campaignStatusResponse struct {
 	CacheMisses int64  `json:"cache_misses,omitempty"`
 }
 
-func (s *Server) handleCampaignGet(_ http.ResponseWriter, r *http.Request) (any, error) {
+func (s *Server) handleCampaignGet(_ http.ResponseWriter, r *http.Request, _ *tenantState) (any, error) {
 	id := r.PathValue("id")
 	cm := s.campaigns
 	cm.mu.Lock()

@@ -26,7 +26,10 @@ func (s *Server) routes() *http.ServeMux {
 	mux.Handle("POST /v1/shard", s.instrument("/v1/shard", s.handleShard))
 	mux.Handle("POST /v1/campaign", s.instrument("/v1/campaign", s.handleCampaignSubmit))
 	mux.Handle("GET /v1/campaign/{id}", s.instrument("/v1/campaign/{id}", s.handleCampaignGet))
-	mux.Handle("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	// /healthz and /metrics stay open even in multi-tenant mode: liveness
+	// probes and scrapers do not carry tenant keys. Neither exposes tenant
+	// data beyond the bounded per-tenant counters.
+	mux.Handle("GET /healthz", s.instrumentOpen("/healthz", s.handleHealthz))
 	mux.Handle("GET /metrics", http.HandlerFunc(s.handleMetrics))
 	return mux
 }
@@ -43,11 +46,24 @@ func badRequest(format string, args ...any) error {
 	return &apiError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
 }
 
-// instrument adapts a handler returning (body, error) to http.Handler,
-// recording per-endpoint request counts and latency and mapping errors to
-// status codes: apiError as given, errBusy to 503 + Retry-After, errDeadline
-// to 504, anything else to 500.
-func (s *Server) instrument(endpoint string, fn func(w http.ResponseWriter, r *http.Request) (any, error)) http.Handler {
+// instrument adapts a handler returning (body, error) to http.Handler. It
+// is also the tenancy gate: the request is resolved to a tenant and charged
+// one rate token BEFORE the handler runs, so nothing inside a handler —
+// including the response-cache fast lane — can serve an unauthenticated or
+// over-quota request. Errors map to status codes: apiError as given, errBusy
+// to 503 + Retry-After (server saturated), throttleError to 429 +
+// Retry-After (tenant over quota), errDeadline to 504, anything else to 500.
+func (s *Server) instrument(endpoint string, fn func(w http.ResponseWriter, r *http.Request, ts *tenantState) (any, error)) http.Handler {
+	return s.instrumented(endpoint, fn, false)
+}
+
+// instrumentOpen instruments an endpoint that never authenticates (liveness
+// probes); its traffic is attributed to the anonymous tenant state.
+func (s *Server) instrumentOpen(endpoint string, fn func(w http.ResponseWriter, r *http.Request, ts *tenantState) (any, error)) http.Handler {
+	return s.instrumented(endpoint, fn, true)
+}
+
+func (s *Server) instrumented(endpoint string, fn func(w http.ResponseWriter, r *http.Request, ts *tenantState) (any, error), open bool) http.Handler {
 	// The endpoint's metric table is resolved once, here, so the per-request
 	// path below is pure atomic adds — no map lookup, no registry lock.
 	em := s.metrics.endpoint(endpoint)
@@ -55,30 +71,66 @@ func (s *Server) instrument(endpoint string, fn func(w http.ResponseWriter, r *h
 		start := time.Now()
 		s.metrics.inflight.Add(1)
 		defer s.metrics.inflight.Add(-1)
-		body, err := fn(w, r)
+		var (
+			ts  *tenantState
+			err error
+		)
+		if open {
+			ts = s.anonymous
+		} else {
+			ts, err = s.tenantFor(r)
+			if err == nil {
+				err = s.admit(ts)
+			}
+		}
+		var body any
+		if err == nil {
+			body, err = fn(w, r, ts)
+		}
 		status := http.StatusOK
 		if err != nil {
 			var ae *apiError
+			var te *throttleError
 			switch {
 			case errors.As(err, &ae):
 				status = ae.status
+			case errors.As(err, &te):
+				status = http.StatusTooManyRequests
+				w.Header().Set("Retry-After", strconv.FormatInt(retrySeconds(te.retryAfter), 10))
 			case errors.Is(err, errBusy):
 				status = http.StatusServiceUnavailable
-				retry := int64((s.cfg.RetryAfter + time.Second - 1) / time.Second)
-				w.Header().Set("Retry-After", strconv.FormatInt(retry, 10))
+				w.Header().Set("Retry-After", strconv.FormatInt(retrySeconds(s.cfg.RetryAfter), 10))
 			case errors.Is(err, errDeadline):
 				status = http.StatusGatewayTimeout
 			default:
 				status = http.StatusInternalServerError
 			}
-			if status == http.StatusServiceUnavailable {
+			switch status {
+			case http.StatusServiceUnavailable:
 				s.metrics.shed.Add(1)
+				ts.shed.Add(1)
+			case http.StatusTooManyRequests:
+				s.metrics.throttled.Add(1)
+				ts.throttled.Add(1)
 			}
 			body = map[string]string{"error": err.Error()}
 		}
 		writeJSON(w, status, body)
 		em.observe(status, time.Since(start))
+		if status >= 0 && status < len(ts.codes) {
+			ts.codes[status].Add(1)
+		}
 	})
+}
+
+// retrySeconds rounds a backoff hint up to whole seconds, minimum 1 — the
+// Retry-After header granularity.
+func retrySeconds(d time.Duration) int64 {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
 }
 
 // reqScratch is the pooled per-request decode state for the hot endpoints:
@@ -101,9 +153,10 @@ var scratchPool = sync.Pool{
 }
 
 // readBody slurps the size-capped request body into scr.body, reusing its
-// backing array across requests.
-func (s *Server) readBody(w http.ResponseWriter, r *http.Request, scr *reqScratch) error {
-	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+// backing array across requests. The cap is the server-wide limit tightened
+// by the tenant's own body quota.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request, scr *reqScratch, ts *tenantState) error {
+	r.Body = http.MaxBytesReader(w, r.Body, s.bodyLimit(ts))
 	scr.body = scr.body[:0]
 	for {
 		if len(scr.body) == cap(scr.body) {
@@ -142,8 +195,8 @@ func (scr *reqScratch) decode(dst any) error {
 // decodeBody parses a size-capped JSON request body into dst. The cold
 // endpoints (/v1/shard, /v1/campaign) use it; the hot endpoints go through
 // the pooled reqScratch instead.
-func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, dst any) error {
-	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, dst any, ts *tenantState) error {
+	r.Body = http.MaxBytesReader(w, r.Body, s.bodyLimit(ts))
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
@@ -261,10 +314,10 @@ func adviceCacheKey(b []byte, req *adviceRequest) []byte {
 	return append(b, 0)
 }
 
-func (s *Server) handleAdvice(w http.ResponseWriter, r *http.Request) (any, error) {
+func (s *Server) handleAdvice(w http.ResponseWriter, r *http.Request, ts *tenantState) (any, error) {
 	scr := scratchPool.Get().(*reqScratch)
 	defer scratchPool.Put(scr)
-	if err := s.readBody(w, r, scr); err != nil {
+	if err := s.readBody(w, r, scr, ts); err != nil {
 		return nil, err
 	}
 	scr.advice = adviceRequest{}
@@ -275,7 +328,9 @@ func (s *Server) handleAdvice(w http.ResponseWriter, r *http.Request) (any, erro
 	// Fast lane: oracle advice is a pure function of the request, so a
 	// repeat request is answered with the previously encoded bytes without
 	// touching the work queue. A key can only hit if the identical request
-	// succeeded before, so validation is not bypassed — it already ran.
+	// succeeded before, so validation is not bypassed — it already ran; and
+	// authentication/rate admission ran in instrument before this handler,
+	// so a cached body is never handed to an unauthorized request.
 	cacheable := s.responses != nil && !s.draining.Load()
 	if cacheable {
 		scr.key = adviceCacheKey(scr.key[:0], &req)
@@ -297,7 +352,7 @@ func (s *Server) handleAdvice(w http.ResponseWriter, r *http.Request) (any, erro
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
 	src := graph.NodeID(req.Source)
-	body, err := s.execute(ctx, func() (any, error) {
+	body, err := s.execute(ctx, ts, func() (any, error) {
 		start := time.Now()
 		orc := sc.NewOracle(src)
 		advice, err := h.Advice(orc, src)
@@ -404,10 +459,10 @@ func runCacheKey(b []byte, req *runRequest) []byte {
 	return strconv.AppendInt(b, int64(req.MaxMessages), 10)
 }
 
-func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) (any, error) {
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request, ts *tenantState) (any, error) {
 	scr := scratchPool.Get().(*reqScratch)
 	defer scratchPool.Put(scr)
-	if err := s.readBody(w, r, scr); err != nil {
+	if err := s.readBody(w, r, scr, ts); err != nil {
 		return nil, err
 	}
 	scr.run = runRequest{}
@@ -466,7 +521,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) (any, error) 
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
 	src := graph.NodeID(req.Source)
-	body, err := s.execute(ctx, func() (any, error) {
+	body, err := s.execute(ctx, ts, func() (any, error) {
 		start := time.Now()
 		advice, err := h.Advice(sc.NewOracle(src), src)
 		if err != nil {
@@ -579,7 +634,7 @@ type healthResponse struct {
 	CatalogFingerprint string    `json:"catalog_fingerprint"`
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) (any, error) {
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request, _ *tenantState) (any, error) {
 	status := "ok"
 	if s.Draining() {
 		// A draining worker stays reachable — the coordinator marks it

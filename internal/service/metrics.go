@@ -86,6 +86,7 @@ type metrics struct {
 	executing  atomic.Int64 // jobs currently running on a worker
 	inflight   atomic.Int64 // HTTP requests currently being served
 	shed       atomic.Int64 // requests answered 503 for backpressure
+	throttled  atomic.Int64 // requests answered 429 for per-tenant quota
 	shardUnits atomic.Int64 // campaign units executed via POST /v1/shard
 	batches    atomic.Int64 // dispatcher wakeups that executed >= 1 job
 	dispatched atomic.Int64 // jobs executed across all batches
@@ -141,6 +142,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "# HELP oracled_shed_total Requests answered 503 under backpressure.\n")
 	fmt.Fprintf(w, "# TYPE oracled_shed_total counter\n")
 	fmt.Fprintf(w, "oracled_shed_total %d\n", m.shed.Load())
+	fmt.Fprintf(w, "# HELP oracled_throttled_total Requests answered 429 for per-tenant quota.\n")
+	fmt.Fprintf(w, "# TYPE oracled_throttled_total counter\n")
+	fmt.Fprintf(w, "oracled_throttled_total %d\n", m.throttled.Load())
 	fmt.Fprintf(w, "# HELP oracled_dropped_jobs_total Queued jobs discarded because their deadline lapsed before execution.\n")
 	fmt.Fprintf(w, "# TYPE oracled_dropped_jobs_total counter\n")
 	fmt.Fprintf(w, "oracled_dropped_jobs_total %d\n", m.dropped.Load())
@@ -203,6 +207,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		}
 	}
 
+	s.writeTenantMetrics(w)
+
 	fmt.Fprintf(w, "# HELP oracled_request_duration_seconds Request latency by endpoint.\n")
 	fmt.Fprintf(w, "# TYPE oracled_request_duration_seconds histogram\n")
 	for _, name := range names {
@@ -217,6 +223,77 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintf(w, "oracled_request_duration_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", name, count)
 		fmt.Fprintf(w, "oracled_request_duration_seconds_sum{endpoint=%q} %s\n", name, formatFloat(float64(sumNS)/1e9))
 		fmt.Fprintf(w, "oracled_request_duration_seconds_count{endpoint=%q} %d\n", name, count)
+	}
+}
+
+// tenantStatesSorted collects the server's tenant states in a stable
+// render order: registered tenants by name, then the reserved anonymous
+// and unknown states. The set is fixed at construction — at most
+// tenant.MaxTenants + 2 states — so per-tenant series cardinality is
+// bounded no matter what keys clients present (every failed
+// authentication lands on the single "unknown" state).
+func (s *Server) tenantStatesSorted() []*tenantState {
+	states := make([]*tenantState, 0, len(s.tenantStates)+2)
+	names := make([]string, 0, len(s.tenantStates))
+	for name := range s.tenantStates {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		states = append(states, s.tenantStates[name])
+	}
+	return append(states, s.anonymous, s.unknown)
+}
+
+// writeTenantMetrics renders the per-tenant series. Zero-valued series are
+// suppressed (like the per-endpoint status codes) so an idle tenant costs
+// no exposition bytes; the queue-depth gauge reports every tenant that has
+// ever queued work.
+func (s *Server) writeTenantMetrics(w http.ResponseWriter) {
+	states := s.tenantStatesSorted()
+
+	fmt.Fprintf(w, "# HELP oracled_tenant_requests_total Finished HTTP requests by tenant and status code.\n")
+	fmt.Fprintf(w, "# TYPE oracled_tenant_requests_total counter\n")
+	for _, ts := range states {
+		for code := range ts.codes {
+			if n := ts.codes[code].Load(); n > 0 {
+				fmt.Fprintf(w, "oracled_tenant_requests_total{tenant=%q,code=\"%d\"} %d\n", ts.name, code, n)
+			}
+		}
+	}
+	fmt.Fprintf(w, "# HELP oracled_tenant_throttled_total Requests answered 429 by tenant.\n")
+	fmt.Fprintf(w, "# TYPE oracled_tenant_throttled_total counter\n")
+	for _, ts := range states {
+		if n := ts.throttled.Load(); n > 0 {
+			fmt.Fprintf(w, "oracled_tenant_throttled_total{tenant=%q} %d\n", ts.name, n)
+		}
+	}
+	fmt.Fprintf(w, "# HELP oracled_tenant_shed_total Requests answered 503 by tenant.\n")
+	fmt.Fprintf(w, "# TYPE oracled_tenant_shed_total counter\n")
+	for _, ts := range states {
+		if n := ts.shed.Load(); n > 0 {
+			fmt.Fprintf(w, "oracled_tenant_shed_total{tenant=%q} %d\n", ts.name, n)
+		}
+	}
+
+	depths := s.sched.Depths()
+	names := make([]string, 0, len(depths))
+	for name := range depths {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "# HELP oracled_tenant_queue_depth Queued jobs by tenant.\n")
+	fmt.Fprintf(w, "# TYPE oracled_tenant_queue_depth gauge\n")
+	for _, name := range names {
+		fmt.Fprintf(w, "oracled_tenant_queue_depth{tenant=%q} %d\n", name, depths[name])
+	}
+
+	fmt.Fprintf(w, "# HELP oracled_tenant_campaigns_running Campaigns currently executing by tenant.\n")
+	fmt.Fprintf(w, "# TYPE oracled_tenant_campaigns_running gauge\n")
+	for _, ts := range states {
+		if n := ts.campaigns.Load(); n > 0 {
+			fmt.Fprintf(w, "oracled_tenant_campaigns_running{tenant=%q} %d\n", ts.name, n)
+		}
 	}
 }
 

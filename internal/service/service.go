@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"oraclesize/internal/campaign"
+	"oraclesize/internal/tenant"
 )
 
 // Config bounds the server. The zero value selects sensible defaults.
@@ -97,6 +98,11 @@ type Config struct {
 	// requests (queue engine only) and serves repeats without touching the
 	// work queue. Default 4096 entries; negative disables the cache.
 	ResponseCacheCapacity int
+	// Tenants enables multi-tenant mode: requests must authenticate with a
+	// registered API key, per-tenant quotas apply at admission, and the work
+	// queue drains tenants in weighted-fair order. Nil (the default) serves
+	// anonymously with no auth or quota work on the request path.
+	Tenants *tenant.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -168,9 +174,18 @@ type Server struct {
 	units     unitsCache
 	campaigns *campaignManager
 
-	queueMu sync.RWMutex
-	queue   chan *job
-	stopped bool
+	// registry and the tenant state tables are fixed at construction; see
+	// tenancy.go. anonymous serves registry-less mode and open endpoints,
+	// unknown absorbs failed authentications.
+	registry     *tenant.Registry
+	tenantStates map[string]*tenantState
+	anonymous    *tenantState
+	unknown      *tenantState
+
+	// sched is the bounded work queue: per-tenant FIFOs drained by weighted
+	// deficit-round-robin. With one active tenant it degrades to the plain
+	// batched FIFO of the serve-path fast lane.
+	sched *tenant.Scheduler[*job]
 	// draining mirrors stopped for lock-free reads: the response-cache fast
 	// lane consults it so a stopped server sheds repeats like any other
 	// request instead of answering from cache.
@@ -196,8 +211,9 @@ func New(cfg Config) *Server {
 		cfg:     cfg,
 		metrics: newMetrics(cfg.MetricsShards),
 		cache:   campaign.NewShardedCache(cfg.CacheCapacity, cfg.CacheShards),
-		queue:   make(chan *job, cfg.QueueDepth),
+		sched:   tenant.NewScheduler[*job](cfg.QueueDepth),
 	}
+	s.initTenancy()
 	if cfg.ResponseCacheCapacity > 0 {
 		s.responses = newRespCache(cfg.ResponseCacheCapacity, cfg.CacheShards)
 	}
@@ -218,13 +234,8 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // later submissions are shed with 503. Stop does not cancel running
 // campaigns — use CampaignWait for those.
 func (s *Server) Stop() {
-	s.queueMu.Lock()
-	if !s.stopped {
-		s.stopped = true
-		s.draining.Store(true)
-		close(s.queue)
-	}
-	s.queueMu.Unlock()
+	s.draining.Store(true)
+	s.sched.Close()
 	s.workers.Wait()
 }
 
@@ -255,18 +266,17 @@ type ctxDone interface {
 	Err() error
 }
 
-// enqueue admits work into the bounded queue. It returns errBusy when the
-// queue is full or the server is stopped — the caller sheds load with 503.
-func (s *Server) enqueue(j *job) error {
-	s.queueMu.RLock()
-	defer s.queueMu.RUnlock()
-	if s.stopped {
-		return errBusy
-	}
-	select {
-	case s.queue <- j:
+// enqueue admits work for the given tenant into the bounded scheduler.
+// A full scheduler (or a stopped server) returns errBusy — the caller
+// sheds load with 503. A tenant over its own queue-slot quota while global
+// capacity remains is throttled with 429 instead.
+func (s *Server) enqueue(ts *tenantState, j *job) error {
+	switch err := s.sched.Enqueue(ts.name, ts.weight, ts.slots, j); err {
+	case nil:
 		s.metrics.queued.Add(1)
 		return nil
+	case tenant.ErrTenantFull:
+		return &throttleError{retryAfter: s.cfg.RetryAfter, msg: "tenant queue slots exhausted"}
 	default:
 		return errBusy
 	}
@@ -274,34 +284,18 @@ func (s *Server) enqueue(j *job) error {
 
 var errBusy = fmt.Errorf("service: work queue full")
 
-// worker runs the batched dispatch loop: block for one job, then drain up
-// to BatchMax-1 more without blocking, and execute the whole batch before
-// touching the channel again. Under load this amortizes channel receives
-// and scheduler wakeups across the batch; an idle server executes the solo
-// job straight off the blocking receive, so single-request latency is the
-// same as unbatched dispatch.
+// worker runs the batched dispatch loop: block for a batch of up to
+// BatchMax jobs in weighted-fair order and execute it before touching the
+// scheduler again. Under load this amortizes scheduler wakeups across the
+// batch; an idle server executes the solo job straight off the blocking
+// dequeue, so single-request latency is the same as unbatched dispatch.
 func (s *Server) worker() {
 	defer s.workers.Done()
-	batch := make([]*job, 0, s.cfg.BatchMax)
+	buf := make([]*job, 0, s.cfg.BatchMax)
 	for {
-		j, ok := <-s.queue
-		if !ok {
-			return
-		}
-		batch = append(batch[:0], j)
-		open := true
-		for len(batch) < s.cfg.BatchMax {
-			select {
-			case j2, ok2 := <-s.queue:
-				if !ok2 {
-					open = false
-				} else {
-					batch = append(batch, j2)
-					continue
-				}
-			default:
-			}
-			break
+		batch := s.sched.DequeueBatch(buf[:0], s.cfg.BatchMax)
+		if batch == nil {
+			return // closed and drained
 		}
 		s.metrics.batches.Add(1)
 		s.metrics.dispatched.Add(int64(len(batch)))
@@ -309,9 +303,7 @@ func (s *Server) worker() {
 			s.runJob(j)
 			batch[i] = nil // the job may be pooled again; drop our reference
 		}
-		if !open {
-			return
-		}
+		buf = batch // keep any capacity growth for the next round
 	}
 }
 
@@ -342,13 +334,13 @@ var jobPool = sync.Pool{
 	New: func() any { return &job{done: make(chan jobResult, 1)} },
 }
 
-// execute queues work and waits for its result or the request deadline.
-// The done channel is buffered so a worker finishing after deadline expiry
-// never blocks.
-func (s *Server) execute(ctx ctxDone, work func() (any, error)) (any, error) {
+// execute queues work for the tenant and waits for its result or the
+// request deadline. The done channel is buffered so a worker finishing
+// after deadline expiry never blocks.
+func (s *Server) execute(ctx ctxDone, ts *tenantState, work func() (any, error)) (any, error) {
 	j := jobPool.Get().(*job)
 	j.ctx, j.work = ctx, work
-	if err := s.enqueue(j); err != nil {
+	if err := s.enqueue(ts, j); err != nil {
 		j.ctx, j.work = nil, nil
 		jobPool.Put(j)
 		return nil, err

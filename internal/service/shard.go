@@ -70,9 +70,9 @@ func (c *unitsCache) units(spec *campaign.Spec) []campaign.Unit {
 	return units
 }
 
-func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) (any, error) {
+func (s *Server) handleShard(w http.ResponseWriter, r *http.Request, ts *tenantState) (any, error) {
 	var req shardRequest
-	if err := s.decodeBody(w, r, &req); err != nil {
+	if err := s.decodeBody(w, r, &req, ts); err != nil {
 		return nil, err
 	}
 	spec := &req.Spec
@@ -99,7 +99,7 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) (any, error
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
 	sh := campaign.Shard{Start: req.Start, End: req.End}
-	return s.execute(ctx, func() (any, error) {
+	return s.execute(ctx, ts, func() (any, error) {
 		start := time.Now()
 		units := s.units.units(spec)
 		batches, err := campaign.RunShard(spec, units, sh, s.cache)

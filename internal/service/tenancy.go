@@ -1,0 +1,157 @@
+package service
+
+import (
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"oraclesize/internal/tenant"
+)
+
+// Tenancy in oracled sits entirely at admission: instrument resolves the
+// request to a tenantState (authentication), spends a rate token, and only
+// then calls the handler — so the response-cache fast lane, which lives
+// inside the handlers, can never answer an unauthenticated or over-quota
+// request. With no registry configured (Config.Tenants == nil) every
+// request resolves to the shared anonymous state with no extra work on the
+// hot path: no header parsing, no hashing, no token bucket.
+//
+// The 429/503 split is deliberate and load-bearing for clients: 429 means
+// *this tenant* is over its own quota (rate, queue slots, concurrent
+// campaigns) and should back off while others proceed; 503 means the
+// *server* is saturated (global queue, global campaign cap) and everyone
+// should back off.
+
+// tenantState is the server-side face of one identity: the resolved quota
+// limits plus this tenant's metric counters. One state exists per
+// registered tenant, plus the two reserved states "anonymous" (no registry,
+// or open endpoints) and "unknown" (failed authentication) — so metric
+// label cardinality is bounded by the registry size + 2, never by what
+// clients send.
+type tenantState struct {
+	name string
+	// t is the registry identity behind the state; nil for the reserved
+	// anonymous/unknown states, which have no key and no quotas.
+	t      *tenant.Tenant
+	weight int
+	slots  int
+	// maxBody/maxUnits/maxCampaigns are the tenant's caps (0 = inherit the
+	// server-wide cap alone).
+	maxBody      int64
+	maxUnits     int
+	maxCampaigns int
+
+	campaigns atomic.Int64 // this tenant's running campaigns
+	// codes counts finished requests by HTTP status, same layout as
+	// endpointMetrics.codes; throttled/shed break out the two rejection
+	// classes for direct alerting.
+	codes     [600]atomic.Int64
+	throttled atomic.Int64
+	shed      atomic.Int64
+}
+
+func newTenantState(name string, t *tenant.Tenant) *tenantState {
+	ts := &tenantState{name: name, t: t, weight: 1}
+	if t != nil {
+		ts.weight = t.Spec.Weight
+		ts.slots = t.Spec.MaxQueueSlots
+		ts.maxBody = t.Spec.MaxBodyBytes
+		ts.maxUnits = t.Spec.MaxCampaignUnits
+		ts.maxCampaigns = t.Spec.MaxCampaigns
+	}
+	return ts
+}
+
+// initTenancy builds the tenant state table from the configured registry.
+// Called once from New; the maps are read-only afterwards.
+func (s *Server) initTenancy() {
+	s.anonymous = newTenantState("anonymous", nil)
+	s.unknown = newTenantState("unknown", nil)
+	s.registry = s.cfg.Tenants
+	if s.registry == nil {
+		return
+	}
+	tenants := s.registry.Tenants()
+	s.tenantStates = make(map[string]*tenantState, len(tenants))
+	for _, t := range tenants {
+		s.tenantStates[t.Spec.Name] = newTenantState(t.Spec.Name, t)
+	}
+}
+
+// apiKey extracts the presented key: `Authorization: Bearer <key>` wins,
+// then `X-API-Key: <key>`.
+func apiKey(r *http.Request) string {
+	if auth := r.Header.Get("Authorization"); auth != "" {
+		if key, ok := strings.CutPrefix(auth, "Bearer "); ok {
+			return key
+		}
+	}
+	return r.Header.Get("X-API-Key")
+}
+
+// errUnauthorized is returned (with the unknown state for attribution) when
+// a registry is configured and the request carries no valid key.
+var errUnauthorized = &apiError{status: http.StatusUnauthorized, msg: "missing or unrecognized API key"}
+
+// tenantFor resolves the request's identity. Without a registry every
+// request is anonymous. With one, a missing or unrecognized key resolves to
+// the reserved unknown state plus a 401 — the state still receives the
+// metric attribution, so probing with bogus keys is visible without
+// creating a label per bogus key.
+func (s *Server) tenantFor(r *http.Request) (*tenantState, error) {
+	if s.registry == nil {
+		return s.anonymous, nil
+	}
+	key := apiKey(r)
+	if key == "" {
+		return s.unknown, errUnauthorized
+	}
+	t, ok := s.registry.Authenticate(key)
+	if !ok {
+		return s.unknown, errUnauthorized
+	}
+	return s.tenantStates[t.Spec.Name], nil
+}
+
+// throttleError carries a 429 through handler returns: the tenant is over
+// its own quota and retryAfter says when to try again.
+type throttleError struct {
+	retryAfter time.Duration
+	msg        string
+}
+
+func (e *throttleError) Error() string { return e.msg }
+
+// admit spends one rate token for the tenant, converting refusal into the
+// 429 the instrument layer renders. Reserved states have no bucket and
+// always admit.
+func (s *Server) admit(ts *tenantState) error {
+	if ts.t == nil {
+		return nil
+	}
+	ok, retry := s.registry.Allow(ts.t)
+	if !ok {
+		return &throttleError{retryAfter: retry, msg: "tenant rate limit exceeded"}
+	}
+	return nil
+}
+
+// bodyLimit is the effective request-body cap for the tenant: the server
+// cap, tightened by the tenant's own cap when one is set.
+func (s *Server) bodyLimit(ts *tenantState) int64 {
+	limit := s.cfg.MaxBodyBytes
+	if ts.maxBody > 0 && ts.maxBody < limit {
+		limit = ts.maxBody
+	}
+	return limit
+}
+
+// unitLimit is the effective campaign-unit cap for the tenant.
+func (s *Server) unitLimit(ts *tenantState) int {
+	limit := s.cfg.MaxCampaignUnits
+	if ts.maxUnits > 0 && ts.maxUnits < limit {
+		limit = ts.maxUnits
+	}
+	return limit
+}

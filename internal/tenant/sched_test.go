@@ -1,0 +1,286 @@
+package tenant
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func drain[T any](s *Scheduler[T], max int) []T {
+	buf := make([]T, 0, max)
+	return s.DequeueBatch(buf, max)
+}
+
+func TestSchedulerSingleTenantFIFO(t *testing.T) {
+	s := NewScheduler[int](64)
+	for i := 0; i < 10; i++ {
+		if err := s.Enqueue("a", 1, 0, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := drain(s, 16)
+	if len(got) != 10 {
+		t.Fatalf("drained %d items, want 10", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("position %d = %d, want FIFO order", i, v)
+		}
+	}
+}
+
+func TestSchedulerGlobalCapacity(t *testing.T) {
+	s := NewScheduler[int](2)
+	if err := s.Enqueue("a", 1, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Enqueue("b", 1, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Enqueue("a", 1, 0, 3); err != ErrFull {
+		t.Fatalf("over-capacity enqueue = %v, want ErrFull", err)
+	}
+	drain(s, 1)
+	if err := s.Enqueue("a", 1, 0, 3); err != nil {
+		t.Fatalf("enqueue after drain = %v", err)
+	}
+}
+
+func TestSchedulerTenantSlots(t *testing.T) {
+	s := NewScheduler[int](64)
+	for i := 0; i < 3; i++ {
+		if err := s.Enqueue("a", 1, 3, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Enqueue("a", 1, 3, 9); err != ErrTenantFull {
+		t.Fatalf("over-slots enqueue = %v, want ErrTenantFull", err)
+	}
+	// Another tenant is unaffected by a's slot exhaustion.
+	if err := s.Enqueue("b", 1, 3, 0); err != nil {
+		t.Fatalf("tenant b enqueue = %v", err)
+	}
+}
+
+func TestSchedulerCloseDrains(t *testing.T) {
+	s := NewScheduler[int](64)
+	for i := 0; i < 5; i++ {
+		s.Enqueue("a", 1, 0, i)
+	}
+	s.Close()
+	if err := s.Enqueue("a", 1, 0, 9); err != ErrFull {
+		t.Fatalf("enqueue after close = %v, want ErrFull", err)
+	}
+	got := drain(s, 16)
+	if len(got) != 5 {
+		t.Fatalf("drained %d queued items after close, want 5", len(got))
+	}
+	if got := drain(s, 16); got != nil {
+		t.Fatalf("closed-and-drained dequeue = %v, want nil", got)
+	}
+}
+
+func TestSchedulerBlocksUntilWork(t *testing.T) {
+	s := NewScheduler[int](8)
+	done := make(chan []int)
+	go func() { done <- drain(s, 4) }()
+	s.Enqueue("a", 1, 0, 42)
+	got := <-done
+	if len(got) != 1 || got[0] != 42 {
+		t.Fatalf("blocked dequeue = %v, want [42]", got)
+	}
+}
+
+// TestSchedulerWeightedFairness is the deterministic fairness demonstration
+// required by ISSUE 9: a bulk tenant saturates the queue while an
+// interactive tenant trickles in, and the interactive tenant's items must
+// surface within a bounded number of dequeues regardless of the bulk
+// backlog depth. No clocks are involved — DRR order is a pure function of
+// the enqueue sequence, so the bound is exact and reproducible.
+func TestSchedulerWeightedFairness(t *testing.T) {
+	const bulkBacklog = 1000
+	s := NewScheduler[string](bulkBacklog + 16)
+	for i := 0; i < bulkBacklog; i++ {
+		if err := s.Enqueue("bulk", 1, 0, "bulk"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The interactive item arrives after 1000 bulk items are queued.
+	if err := s.Enqueue("interactive", 4, 0, "interactive"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Drain in batches of 16 (the serve-path BatchMax) and record how many
+	// items dequeue before the interactive one.
+	pos, seen := 0, false
+	for !seen {
+		batch := drain(s, 16)
+		if batch == nil {
+			t.Fatal("scheduler drained without yielding the interactive item")
+		}
+		for _, v := range batch {
+			if v == "interactive" {
+				seen = true
+				break
+			}
+			pos++
+		}
+	}
+	// With weights 1:4 the rotation owes bulk at most one quantum (its
+	// weight, 1) before visiting interactive, plus whatever was already
+	// committed in the in-flight batch. Anything beyond one batch's worth
+	// means the backlog leaked into the interactive tenant's latency.
+	if pos > 16 {
+		t.Fatalf("interactive item waited behind %d bulk items; want <= 16 despite a %d-deep bulk backlog", pos, bulkBacklog)
+	}
+}
+
+// TestSchedulerWeightRatio pins the weight-proportional drain: with both
+// tenants permanently backlogged, a window of dequeues carries items in
+// weight ratio.
+func TestSchedulerWeightRatio(t *testing.T) {
+	s := NewScheduler[string](4096)
+	for i := 0; i < 900; i++ {
+		s.Enqueue("heavy", 3, 0, "heavy")
+	}
+	for i := 0; i < 300; i++ {
+		s.Enqueue("light", 1, 0, "light")
+	}
+	counts := map[string]int{}
+	// Sample the first 400 dequeues: both tenants still have backlog
+	// throughout, so the ratio must hold at 3:1 (+/- one quantum per batch
+	// boundary).
+	for sampled := 0; sampled < 400; {
+		for _, v := range drain(s, 16) {
+			if sampled < 400 {
+				counts[v]++
+			}
+			sampled++
+		}
+	}
+	if h, l := counts["heavy"], counts["light"]; h < 290 || h > 310 || h+l != 400 {
+		t.Fatalf("window of 400 dequeues carried heavy=%d light=%d, want ~300:100", h, l)
+	}
+}
+
+// TestSchedulerNoBankedCredit: a tenant that drains and leaves the
+// rotation forfeits leftover deficit — returning later it gets a fresh
+// quantum, not accumulated credit.
+func TestSchedulerNoBankedCredit(t *testing.T) {
+	s := NewScheduler[string](64)
+	s.Enqueue("a", 8, 0, "a0") // weight 8, but only one item
+	s.Enqueue("b", 1, 0, "b0")
+	if got := drain(s, 1); got[0] != "a0" {
+		t.Fatalf("first dequeue = %v", got)
+	}
+	// a drained with 7 deficit left; re-enqueue and confirm b is not
+	// starved by banked credit: b's single item appears within a's fresh
+	// quantum of 8.
+	for i := 0; i < 8; i++ {
+		s.Enqueue("a", 8, 0, "a")
+	}
+	got := drain(s, 16)
+	foundB := false
+	for _, v := range got {
+		if v == "b0" {
+			foundB = true
+		}
+	}
+	if !foundB {
+		t.Fatalf("b starved across a's re-entry: %v", got)
+	}
+}
+
+func TestSchedulerDepths(t *testing.T) {
+	s := NewScheduler[int](64)
+	s.Enqueue("a", 1, 0, 1)
+	s.Enqueue("a", 1, 0, 2)
+	s.Enqueue("b", 1, 0, 3)
+	d := s.Depths()
+	if d["a"] != 2 || d["b"] != 1 {
+		t.Fatalf("Depths = %v", d)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	drain(s, 16)
+	d = s.Depths()
+	if d["a"] != 0 || d["b"] != 0 {
+		t.Fatalf("Depths after drain = %v", d)
+	}
+}
+
+func TestSchedulerConcurrentProducersConsumers(t *testing.T) {
+	s := NewScheduler[int](128)
+	const perProducer = 200
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			sent := 0
+			for sent < perProducer {
+				if err := s.Enqueue(id, 1+len(id)%3, 0, sent); err == nil {
+					sent++
+				}
+			}
+		}("tenant-" + string(rune('a'+p)))
+	}
+	var consumed sync.WaitGroup
+	total := make(chan int, 4)
+	for c := 0; c < 4; c++ {
+		consumed.Add(1)
+		go func() {
+			defer consumed.Done()
+			n := 0
+			buf := make([]int, 0, 16)
+			for {
+				batch := s.DequeueBatch(buf[:0], 16)
+				if batch == nil {
+					total <- n
+					return
+				}
+				n += len(batch)
+			}
+		}()
+	}
+	wg.Wait()
+	for s.Len() > 0 {
+		runtime.Gosched() // producers done; let consumers drain the rest
+	}
+	s.Close()
+	consumed.Wait()
+	close(total)
+	sum := 0
+	for n := range total {
+		sum += n
+	}
+	if sum != 4*perProducer {
+		t.Fatalf("consumed %d items, want %d", sum, 4*perProducer)
+	}
+}
+
+func TestSchedulerHeadCompaction(t *testing.T) {
+	s := NewScheduler[int](4096)
+	// Interleave pushes and pops on one queue to force the compaction path.
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 300; i++ {
+			if err := s.Enqueue("a", 1, 0, round*300+i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got := 0
+		for got < 200 {
+			got += len(drain(s, 16))
+		}
+	}
+	// Drain the remainder and confirm nothing was lost or reordered.
+	want := 10*300 - 10*208 // each round drained 208 (13 batches of 16)
+	left := 0
+	for s.Len() > 0 {
+		left += len(drain(s, 16))
+	}
+	if left != want {
+		t.Fatalf("drained %d leftover items, want %d", left, want)
+	}
+}

@@ -1,0 +1,181 @@
+package tenant
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"encoding/pem"
+	"fmt"
+	"math/big"
+	"net"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// This file is the fleet's transport identity: mutual-TLS config
+// builders for both halves of the oracleherd <-> oracled protocol (shard
+// dispatch and the /v1/fleet membership endpoints), plus a minimal
+// certificate generator so tests and CI need no external PKI tooling.
+// Certificates are issued with both server- and client-auth extended key
+// usages: every fleet process is a server on its own listener and a
+// client of its peers, and one identity per process keeps deployment to
+// "one CA, one cert per node".
+
+// ServerTLS builds the listener-side TLS config. With clientCAFile set,
+// clients must present a certificate signed by that CA (mutual TLS);
+// without it the listener serves ordinary one-way TLS.
+func ServerTLS(certFile, keyFile, clientCAFile string) (*tls.Config, error) {
+	cert, err := tls.LoadX509KeyPair(certFile, keyFile)
+	if err != nil {
+		return nil, fmt.Errorf("tenant: loading server keypair: %w", err)
+	}
+	cfg := &tls.Config{
+		Certificates: []tls.Certificate{cert},
+		MinVersion:   tls.VersionTLS12,
+	}
+	if clientCAFile != "" {
+		pool, err := loadCertPool(clientCAFile)
+		if err != nil {
+			return nil, err
+		}
+		cfg.ClientCAs = pool
+		cfg.ClientAuth = tls.RequireAndVerifyClientCert
+	}
+	return cfg, nil
+}
+
+// ClientTLS builds the dialer-side TLS config: trust servers signed by
+// caFile, and (when certFile is set) present our own certificate for the
+// server's client-auth check.
+func ClientTLS(certFile, keyFile, caFile string) (*tls.Config, error) {
+	cfg := &tls.Config{MinVersion: tls.VersionTLS12}
+	if caFile != "" {
+		pool, err := loadCertPool(caFile)
+		if err != nil {
+			return nil, err
+		}
+		cfg.RootCAs = pool
+	}
+	if certFile != "" {
+		cert, err := tls.LoadX509KeyPair(certFile, keyFile)
+		if err != nil {
+			return nil, fmt.Errorf("tenant: loading client keypair: %w", err)
+		}
+		cfg.Certificates = []tls.Certificate{cert}
+	}
+	return cfg, nil
+}
+
+func loadCertPool(caFile string) (*x509.CertPool, error) {
+	pemBytes, err := os.ReadFile(caFile)
+	if err != nil {
+		return nil, fmt.Errorf("tenant: reading CA: %w", err)
+	}
+	pool := x509.NewCertPool()
+	if !pool.AppendCertsFromPEM(pemBytes) {
+		return nil, fmt.Errorf("tenant: no certificates in %s", caFile)
+	}
+	return pool, nil
+}
+
+// CertPaths locates one PEM keypair on disk.
+type CertPaths struct {
+	Cert string
+	Key  string
+}
+
+// GenerateCA writes a self-signed ECDSA P-256 certificate authority as
+// <dir>/<name>.pem and <dir>/<name>.key and returns the paths.
+func GenerateCA(dir, name string) (CertPaths, error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return CertPaths{}, err
+	}
+	serial, err := rand.Int(rand.Reader, big.NewInt(1).Lsh(big.NewInt(1), 62))
+	if err != nil {
+		return CertPaths{}, err
+	}
+	tmpl := &x509.Certificate{
+		SerialNumber:          serial,
+		Subject:               pkix.Name{CommonName: name},
+		NotBefore:             time.Now().Add(-time.Hour),
+		NotAfter:              time.Now().Add(10 * 365 * 24 * time.Hour),
+		KeyUsage:              x509.KeyUsageCertSign | x509.KeyUsageDigitalSignature,
+		BasicConstraintsValid: true,
+		IsCA:                  true,
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, tmpl, &key.PublicKey, key)
+	if err != nil {
+		return CertPaths{}, err
+	}
+	return writeKeypair(dir, name, der, key)
+}
+
+// IssueCert writes a leaf certificate for the named node, signed by the
+// CA at ca, valid for the given hosts (DNS names or IP literals) and for
+// both server and client authentication.
+func IssueCert(dir, name string, ca CertPaths, hosts []string) (CertPaths, error) {
+	caPair, err := tls.LoadX509KeyPair(ca.Cert, ca.Key)
+	if err != nil {
+		return CertPaths{}, fmt.Errorf("tenant: loading CA keypair: %w", err)
+	}
+	caCert, err := x509.ParseCertificate(caPair.Certificate[0])
+	if err != nil {
+		return CertPaths{}, err
+	}
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return CertPaths{}, err
+	}
+	serial, err := rand.Int(rand.Reader, big.NewInt(1).Lsh(big.NewInt(1), 62))
+	if err != nil {
+		return CertPaths{}, err
+	}
+	tmpl := &x509.Certificate{
+		SerialNumber: serial,
+		Subject:      pkix.Name{CommonName: name},
+		NotBefore:    time.Now().Add(-time.Hour),
+		NotAfter:     time.Now().Add(2 * 365 * 24 * time.Hour),
+		KeyUsage:     x509.KeyUsageDigitalSignature,
+		ExtKeyUsage:  []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth, x509.ExtKeyUsageClientAuth},
+	}
+	for _, h := range hosts {
+		if ip := net.ParseIP(h); ip != nil {
+			tmpl.IPAddresses = append(tmpl.IPAddresses, ip)
+		} else {
+			tmpl.DNSNames = append(tmpl.DNSNames, h)
+		}
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, caCert, &key.PublicKey, caPair.PrivateKey)
+	if err != nil {
+		return CertPaths{}, err
+	}
+	return writeKeypair(dir, name, der, key)
+}
+
+func writeKeypair(dir, name string, certDER []byte, key *ecdsa.PrivateKey) (CertPaths, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return CertPaths{}, err
+	}
+	p := CertPaths{
+		Cert: filepath.Join(dir, name+".pem"),
+		Key:  filepath.Join(dir, name+".key"),
+	}
+	certOut := pem.EncodeToMemory(&pem.Block{Type: "CERTIFICATE", Bytes: certDER})
+	if err := os.WriteFile(p.Cert, certOut, 0o644); err != nil {
+		return CertPaths{}, err
+	}
+	keyDER, err := x509.MarshalECPrivateKey(key)
+	if err != nil {
+		return CertPaths{}, err
+	}
+	keyOut := pem.EncodeToMemory(&pem.Block{Type: "EC PRIVATE KEY", Bytes: keyDER})
+	if err := os.WriteFile(p.Key, keyOut, 0o600); err != nil {
+		return CertPaths{}, err
+	}
+	return p, nil
+}

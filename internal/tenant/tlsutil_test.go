@@ -1,0 +1,114 @@
+package tenant
+
+import (
+	"crypto/tls"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestMTLSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	ca, err := GenerateCA(dir, "ca")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serverCert, err := IssueCert(dir, "server", ca, []string{"127.0.0.1", "localhost"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientCert, err := IssueCert(dir, "client", ca, []string{"client"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	serverCfg, err := ServerTLS(serverCert.Cert, serverCert.Key, ca.Cert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	srv.TLS = serverCfg
+	srv.StartTLS()
+	// httptest.StartTLS swaps in its own cert; force ours back.
+	srv.TLS.Certificates = serverCfg.Certificates
+	defer srv.Close()
+
+	clientCfg, err := ClientTLS(clientCert.Cert, clientCert.Key, ca.Cert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{Transport: &http.Transport{TLSClientConfig: clientCfg}}
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("mTLS request failed: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "ok" {
+		t.Fatalf("body = %q", body)
+	}
+
+	// Without a client certificate the handshake must be refused.
+	bareCfg, err := ClientTLS("", "", ca.Cert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare := &http.Client{Transport: &http.Transport{TLSClientConfig: bareCfg}}
+	if resp, err := bare.Get(srv.URL); err == nil {
+		resp.Body.Close()
+		t.Fatal("certificate-less client accepted by mTLS server")
+	}
+
+	// A client cert from a different CA must also be refused.
+	otherCA, err := GenerateCA(dir, "other-ca")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rogueCert, err := IssueCert(dir, "rogue", otherCA, []string{"rogue"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rogueCfg, err := ClientTLS(rogueCert.Cert, rogueCert.Key, ca.Cert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rogue := &http.Client{Transport: &http.Transport{TLSClientConfig: rogueCfg}}
+	if resp, err := rogue.Get(srv.URL); err == nil {
+		resp.Body.Close()
+		t.Fatal("client signed by a foreign CA accepted by mTLS server")
+	}
+}
+
+func TestServerTLSWithoutClientCA(t *testing.T) {
+	dir := t.TempDir()
+	ca, err := GenerateCA(dir, "ca")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serverCert, err := IssueCert(dir, "server", ca, []string{"127.0.0.1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := ServerTLS(serverCert.Cert, serverCert.Key, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.ClientAuth != tls.NoClientCert {
+		t.Fatalf("ClientAuth = %v without a client CA, want NoClientCert", cfg.ClientAuth)
+	}
+}
+
+func TestTLSConfigErrors(t *testing.T) {
+	if _, err := ServerTLS("nope.pem", "nope.key", ""); err == nil {
+		t.Fatal("missing server keypair accepted")
+	}
+	if _, err := ClientTLS("", "", "nope.pem"); err == nil {
+		t.Fatal("missing CA accepted")
+	}
+	if _, err := ClientTLS("nope.pem", "nope.key", ""); err == nil {
+		t.Fatal("missing client keypair accepted")
+	}
+}
