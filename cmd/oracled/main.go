@@ -84,6 +84,7 @@ func run(args []string, out, errOut io.Writer) int {
 		advertise   = fs.String("advertise", "", "base URL the coordinator should dispatch to (default derived from -addr)")
 		heartbeat   = fs.Duration("heartbeat", 2*time.Second, "membership heartbeat cadence when -join is set")
 		keyfile     = fs.String("keyfile", "", "tenant keyfile (JSON); enables API-key auth, per-tenant quotas, and weighted-fair scheduling")
+		tenantDir   = fs.String("tenant-store", "", "durable tenant store directory (snapshot + WAL); enables hot reload via SIGHUP and POST /v1/admin/tenants/reload, persistent usage ledgers, and key rotation. With -keyfile, an empty store is seeded from the keyfile once.")
 		tlsCert     = fs.String("tls-cert", "", "serve TLS with this certificate (PEM); also presented as client identity to the coordinator")
 		tlsKey      = fs.String("tls-key", "", "private key for -tls-cert")
 		tlsClientCA = fs.String("tls-client-ca", "", "require client certificates signed by this CA (mutual TLS)")
@@ -94,7 +95,39 @@ func run(args []string, out, errOut io.Writer) int {
 	}
 
 	var registry *tenant.Registry
-	if *keyfile != "" {
+	var store *tenant.Store
+	switch {
+	case *tenantDir != "":
+		st, err := tenant.OpenStore(*tenantDir)
+		if err != nil {
+			fmt.Fprintf(errOut, "oracled: %v\n", err)
+			return 2
+		}
+		defer st.Close()
+		store = st
+		if *keyfile != "" && st.Len() == 0 {
+			// One-time migration: seed the empty store from the keyfile.
+			// A populated store is authoritative and the keyfile is ignored.
+			n, err := st.ImportKeyfile(*keyfile)
+			if err != nil {
+				fmt.Fprintf(errOut, "oracled: %v\n", err)
+				return 2
+			}
+			fmt.Fprintf(out, "oracled: seeded tenant store %s with %d tenants from %s\n", *tenantDir, n, *keyfile)
+		}
+		if st.Len() > 0 {
+			r, err := st.Registry()
+			if err != nil {
+				fmt.Fprintf(errOut, "oracled: %v\n", err)
+				return 2
+			}
+			registry = r
+			fmt.Fprintf(out, "oracled: multi-tenant mode, %d tenants (store %s, generation %d)\n",
+				len(r.Tenants()), *tenantDir, st.Generation())
+		} else {
+			fmt.Fprintf(out, "oracled: tenant store %s is empty, serving anonymously until a reload\n", *tenantDir)
+		}
+	case *keyfile != "":
 		r, err := tenant.LoadKeyfile(*keyfile)
 		if err != nil {
 			fmt.Fprintf(errOut, "oracled: %v\n", err)
@@ -118,7 +151,38 @@ func run(args []string, out, errOut io.Writer) int {
 		MetricsShards:         *metricsSh,
 		ResponseCacheCapacity: *respCache,
 		Tenants:               registry,
+		TenantStore:           store,
 	})
+
+	// SIGHUP hot-reloads tenant policy without dropping in-flight requests:
+	// from the store when one is attached, by re-reading the keyfile
+	// otherwise. Errors keep the running table untouched.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	go func() {
+		for range hup {
+			switch {
+			case store != nil:
+				gen, n, err := svc.ReloadFromStore()
+				if err != nil {
+					fmt.Fprintf(errOut, "oracled: SIGHUP reload: %v (keeping current tenants)\n", err)
+					continue
+				}
+				fmt.Fprintf(out, "oracled: SIGHUP reload: %d tenants, generation %d\n", n, gen)
+			case *keyfile != "":
+				r, err := tenant.LoadKeyfile(*keyfile)
+				if err != nil {
+					fmt.Fprintf(errOut, "oracled: SIGHUP reload: %v (keeping current tenants)\n", err)
+					continue
+				}
+				svc.SwapTenants(r, svc.TenantGeneration()+1)
+				fmt.Fprintf(out, "oracled: SIGHUP reload: %d tenants from %s\n", len(r.Tenants()), *keyfile)
+			default:
+				fmt.Fprintln(errOut, "oracled: SIGHUP ignored (no -tenant-store or -keyfile)")
+			}
+		}
+	}()
 
 	if *pprofAddr != "" {
 		// Profiles ride a separate listener so they can stay bound to
@@ -196,9 +260,31 @@ func run(args []string, out, errOut io.Writer) int {
 			Interval: *heartbeat,
 			Report: func() membership.Heartbeat {
 				depth, unitSec, draining := svc.FleetReport()
-				return membership.Heartbeat{QueueDepth: depth, UnitSeconds: unitSec, Draining: draining}
+				return membership.Heartbeat{
+					QueueDepth:  depth,
+					UnitSeconds: unitSec,
+					TenantGen:   svc.TenantGeneration(),
+					Draining:    draining,
+				}
 			},
 			Logf: func(format string, a ...any) { fmt.Fprintf(errOut, format+"\n", a...) },
+		}
+		if store != nil {
+			// Heartbeat acks carry the coordinator's tenant-policy
+			// generation; falling behind triggers a store sync + reload, so
+			// a policy change on the coordinator reaches every fleet member
+			// within one heartbeat interval.
+			agent.OnTenantGen = func(gen uint64) {
+				if gen <= svc.TenantGeneration() {
+					return
+				}
+				g, n, err := svc.ReloadFromStore()
+				if err != nil {
+					fmt.Fprintf(errOut, "oracled: fleet-driven tenant reload: %v\n", err)
+					return
+				}
+				fmt.Fprintf(out, "oracled: fleet-driven tenant reload: %d tenants, generation %d\n", n, g)
+			}
 		}
 		if *tlsCA != "" || *tlsCert != "" {
 			// Joining an mTLS coordinator: trust its CA and present our own

@@ -104,6 +104,7 @@ func run(args []string, out, errOut io.Writer) int {
 		metrics     = fs.String("metrics", "", "serve coordinator Prometheus metrics on this address")
 		listen      = fs.String("listen", "", "serve the elastic fleet endpoints (/v1/fleet*, combined /metrics) on this address; workers join with oracled -join")
 		memberTTL   = fs.Duration("member-ttl", 10*time.Second, "evict a fleet member this long after its last heartbeat")
+		tenantDir   = fs.String("tenant-store", "", "with -listen: watch this tenant store and push its generation to workers in join/heartbeat acks, so the fleet converges on one policy")
 		targetSpan  = fs.Duration("target-makespan", 0, "autoscaling advisor target for the remaining campaign (0 disables the recommendation)")
 		spawnCmd    = fs.String("spawn-cmd", "", "sh -c template launched per recommended worker (FLEET_INDEX set); requires -listen and -target-makespan")
 		spawnMax    = fs.Int("spawn-max", 8, "most workers -spawn-cmd may run at once")
@@ -334,6 +335,35 @@ func run(args []string, out, errOut io.Writer) int {
 			return a
 		}
 		fleetSrv := &membership.Server{Table: table, Advise: advise}
+		if *tenantDir != "" {
+			// The coordinator is the fleet's tenant-policy beacon: every
+			// join/heartbeat ack carries the store's current generation, and
+			// a periodic Sync (on the sweep cadence) folds in mutations the
+			// admin CLI appends, so a reload propagates fleet-wide within
+			// one heartbeat interval of the next sweep.
+			tst, err := tenant.OpenStore(*tenantDir)
+			if err != nil {
+				fmt.Fprintf(errOut, "oracleherd: %v\n", err)
+				return 2
+			}
+			defer tst.Close()
+			fleetSrv.TenantGen = tst.Generation
+			go func() {
+				t := time.NewTicker(time.Second)
+				defer t.Stop()
+				for {
+					select {
+					case <-fleetCtx.Done():
+						return
+					case <-t.C:
+						if _, err := tst.Sync(); err != nil {
+							fmt.Fprintf(errOut, "oracleherd: tenant store sync: %v\n", err)
+						}
+					}
+				}
+			}()
+			fmt.Fprintf(errOut, "oracleherd: pushing tenant generation from %s (currently %d)\n", *tenantDir, tst.Generation())
+		}
 		mux := http.NewServeMux()
 		fleetSrv.Routes(mux)
 		mux.Handle("GET /metrics", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {

@@ -326,20 +326,18 @@ func run(args []string, out, errOut io.Writer) int {
 					resp, err := post(b)
 					elapsed := time.Since(st)
 					requests.Add(1)
-					if err != nil {
-						errs.Add(1)
-						return
+					if err == nil {
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
 					}
-					io.Copy(io.Discard, resp.Body)
-					resp.Body.Close()
-					switch resp.StatusCode {
-					case http.StatusOK:
+					switch classify(resp, err) {
+					case outcomeOK:
 						latMu.Lock()
 						lats = append(lats, elapsed)
 						latMu.Unlock()
-					case http.StatusServiceUnavailable:
+					case outcomeShed:
 						shed.Add(1)
-					case http.StatusTooManyRequests:
+					case outcomeThrottled:
 						throttled.Add(1)
 					default:
 						errs.Add(1)
@@ -381,14 +379,12 @@ func run(args []string, out, errOut io.Writer) int {
 					resp, err := post(body)
 					elapsed := time.Since(start)
 					requests.Add(1)
-					if err != nil {
-						errs.Add(1)
-						continue
+					if err == nil {
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
 					}
-					io.Copy(io.Discard, resp.Body)
-					resp.Body.Close()
-					switch {
-					case resp.StatusCode == http.StatusOK:
+					switch classify(resp, err) {
+					case outcomeOK:
 						local = append(local, elapsed)
 						if adaptive {
 							per := elapsed.Seconds() / float64(size)
@@ -405,9 +401,9 @@ func run(args []string, out, errOut io.Writer) int {
 								size = *shardMax
 							}
 						}
-					case resp.StatusCode == http.StatusServiceUnavailable:
+					case outcomeShed:
 						shed.Add(1)
-					case resp.StatusCode == http.StatusTooManyRequests:
+					case outcomeThrottled:
 						throttled.Add(1)
 					default:
 						errs.Add(1)
@@ -488,6 +484,39 @@ type runRequest struct {
 	N      int    `json:"n"`
 	Seed   int64  `json:"seed"`
 	Task   string `json:"task"`
+}
+
+// outcome is one request's classified result; every load loop feeds its
+// counters exclusively through classify.
+type outcome int
+
+const (
+	outcomeOK outcome = iota
+	outcomeShed
+	outcomeThrottled
+	outcomeError
+)
+
+// classify maps a request's result to its counter, by status code alone.
+// Transport errors — including an idle connection the server closed under
+// us mid-reuse — are errors, never throttles or sheds: 429 and 503 are
+// statements the server made, and only a real response can make them.
+// Every loop (closed-loop, open-loop, mixed) must share this mapping so
+// the recorded shed/throttled split stays comparable across modes.
+func classify(resp *http.Response, err error) outcome {
+	if err != nil {
+		return outcomeError
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return outcomeOK
+	case http.StatusServiceUnavailable:
+		return outcomeShed
+	case http.StatusTooManyRequests:
+		return outcomeThrottled
+	default:
+		return outcomeError
+	}
 }
 
 // poster binds an endpoint and optional API key into a one-argument POST,
@@ -664,18 +693,16 @@ func runMixed(cfg mixedConfig, out, errOut io.Writer) int {
 					resp, err := post(bodies[(c+i)%len(bodies)])
 					elapsed := time.Since(start)
 					ct.requests.Add(1)
-					if err != nil {
-						ct.errs.Add(1)
-						continue
+					if err == nil {
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
 					}
-					io.Copy(io.Discard, resp.Body)
-					resp.Body.Close()
-					switch resp.StatusCode {
-					case http.StatusOK:
+					switch classify(resp, err) {
+					case outcomeOK:
 						local = append(local, elapsed)
-					case http.StatusServiceUnavailable:
+					case outcomeShed:
 						ct.shed.Add(1)
-					case http.StatusTooManyRequests:
+					case outcomeThrottled:
 						ct.throttled.Add(1)
 					default:
 						ct.errs.Add(1)

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"errors"
+	"net/http"
+	"testing"
+)
+
+// TestClassifyByStatusOnly is the regression test for the -mixed
+// misclassification: a transport error — the reused idle connection the
+// server closed under us is the classic one — must count as an error,
+// never as a 429 throttle or 503 shed. Classification is a function of
+// the status code alone, and only a real response has one.
+func TestClassifyByStatusOnly(t *testing.T) {
+	reuseErr := errors.New(`Post "http://127.0.0.1:8080/v1/run": http: server closed idle connection`)
+	cases := []struct {
+		name string
+		resp *http.Response
+		err  error
+		want outcome
+	}{
+		{"ok", &http.Response{StatusCode: http.StatusOK}, nil, outcomeOK},
+		{"shed-503", &http.Response{StatusCode: http.StatusServiceUnavailable}, nil, outcomeShed},
+		{"throttled-429", &http.Response{StatusCode: http.StatusTooManyRequests}, nil, outcomeThrottled},
+		{"unauthorized-401", &http.Response{StatusCode: http.StatusUnauthorized}, nil, outcomeError},
+		{"server-error-500", &http.Response{StatusCode: http.StatusInternalServerError}, nil, outcomeError},
+		{"gateway-timeout-504", &http.Response{StatusCode: http.StatusGatewayTimeout}, nil, outcomeError},
+		// The regression: a connection-reuse failure yields err != nil and no
+		// response; it must never be folded into the throttle counter.
+		{"connection-reuse-error", nil, reuseErr, outcomeError},
+		{"transport-error", nil, errors.New("dial tcp: connection refused"), outcomeError},
+		// Belt and braces: even if a transport ever handed back both a
+		// response and an error, the error wins — the response can't be
+		// trusted.
+		{"error-with-stale-response", &http.Response{StatusCode: http.StatusTooManyRequests}, reuseErr, outcomeError},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := classify(tc.resp, tc.err); got != tc.want {
+				t.Errorf("classify(%v, %v) = %d, want %d", tc.resp, tc.err, got, tc.want)
+			}
+		})
+	}
+}

@@ -65,18 +65,24 @@ type Member struct {
 	Build       BuildInfo `json:"build"`
 	// QueueDepth and UnitSeconds are the latest heartbeat's load signals:
 	// the worker's bounded-queue depth and its EWMA per-unit service time.
-	QueueDepth  int       `json:"queue_depth"`
-	UnitSeconds float64   `json:"unit_seconds"`
-	Status      Status    `json:"status"`
-	JoinedAt    time.Time `json:"joined_at"`
-	LastSeen    time.Time `json:"last_seen"`
-	Heartbeats  int64     `json:"heartbeats"`
+	QueueDepth  int     `json:"queue_depth"`
+	UnitSeconds float64 `json:"unit_seconds"`
+	// TenantGen is the tenant-policy generation the worker last reported
+	// serving; the coordinator compares it against its own to surface
+	// fleet-wide config skew.
+	TenantGen  uint64    `json:"tenant_generation,omitempty"`
+	Status     Status    `json:"status"`
+	JoinedAt   time.Time `json:"joined_at"`
+	LastSeen   time.Time `json:"last_seen"`
+	Heartbeats int64     `json:"heartbeats"`
 }
 
 // Heartbeat is the per-beat payload a member reports.
 type Heartbeat struct {
 	QueueDepth  int     `json:"queue_depth"`
 	UnitSeconds float64 `json:"unit_seconds"`
+	// TenantGen is the tenant-policy generation the worker is serving.
+	TenantGen uint64 `json:"tenant_generation,omitempty"`
 	// Draining marks a member shutting down gracefully: it is kept in the
 	// table with StatusDraining instead of being handed new leases.
 	Draining bool `json:"draining,omitempty"`
@@ -208,6 +214,7 @@ type JoinRequest struct {
 	Build       BuildInfo `json:"build"`
 	QueueDepth  int       `json:"queue_depth"`
 	UnitSeconds float64   `json:"unit_seconds"`
+	TenantGen   uint64    `json:"tenant_generation,omitempty"`
 	Draining    bool      `json:"draining,omitempty"`
 }
 
@@ -237,6 +244,7 @@ func (t *Table) Join(req JoinRequest) (Member, error) {
 	m.Build = req.Build
 	m.QueueDepth = req.QueueDepth
 	m.UnitSeconds = req.UnitSeconds
+	m.TenantGen = req.TenantGen
 	m.Status = status
 	m.LastSeen = now
 	t.deadline[req.ID] = now.Add(t.cfg.TTL)
@@ -263,6 +271,7 @@ func (t *Table) Beat(id string, hb Heartbeat) (Member, error) {
 	was := m.Status
 	m.QueueDepth = hb.QueueDepth
 	m.UnitSeconds = hb.UnitSeconds
+	m.TenantGen = hb.TenantGen
 	if hb.Draining {
 		m.Status = StatusDraining
 	} else {

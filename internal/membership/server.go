@@ -23,6 +23,27 @@ type Server struct {
 	// Advise, when set, supplies the autoscaling recommendation rendered
 	// into GET /v1/fleet and the fleet metrics.
 	Advise func() Advice
+	// TenantGen, when set, supplies the coordinator's current tenant-policy
+	// generation. Join and heartbeat acks carry it back to the worker — the
+	// advice-distribution path that converges an elastic fleet on one
+	// policy — and the fleet metrics report the skew.
+	TenantGen func() uint64
+}
+
+// memberAck is the join/heartbeat response: the member's table row plus the
+// coordinator's tenant-policy generation. A worker seeing a generation
+// ahead of its own syncs its tenant store and reloads.
+type memberAck struct {
+	Member
+	CoordinatorTenantGen uint64 `json:"coordinator_tenant_generation,omitempty"`
+}
+
+func (s *Server) ack(m Member) memberAck {
+	a := memberAck{Member: m}
+	if s.TenantGen != nil {
+		a.CoordinatorTenantGen = s.TenantGen()
+	}
+	return a
 }
 
 // maxFleetBody caps registration payloads; fleet messages are tiny.
@@ -71,7 +92,7 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, m)
+	writeJSON(w, http.StatusOK, s.ack(m))
 }
 
 // heartbeatRequest is the wire shape of one beat: the member ID plus the
@@ -80,6 +101,7 @@ type heartbeatRequest struct {
 	ID          string  `json:"id"`
 	QueueDepth  int     `json:"queue_depth"`
 	UnitSeconds float64 `json:"unit_seconds"`
+	TenantGen   uint64  `json:"tenant_generation,omitempty"`
 	Draining    bool    `json:"draining,omitempty"`
 }
 
@@ -92,6 +114,7 @@ func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	m, err := s.Table.Beat(req.ID, Heartbeat{
 		QueueDepth:  req.QueueDepth,
 		UnitSeconds: req.UnitSeconds,
+		TenantGen:   req.TenantGen,
 		Draining:    req.Draining,
 	})
 	if err != nil {
@@ -104,7 +127,7 @@ func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, m)
+	writeJSON(w, http.StatusOK, s.ack(m))
 }
 
 type leaveRequest struct {
@@ -165,6 +188,21 @@ func (s *Server) WriteMetrics(w io.Writer) {
 	fmt.Fprintf(w, "# HELP oracleherd_fleet_evictions_total Members evicted after going silent past the TTL.\n")
 	fmt.Fprintf(w, "# TYPE oracleherd_fleet_evictions_total counter\n")
 	fmt.Fprintf(w, "oracleherd_fleet_evictions_total %d\n", evictions)
+	if s.TenantGen != nil {
+		gen := s.TenantGen()
+		skew := 0
+		for _, m := range members {
+			if m.TenantGen < gen {
+				skew++
+			}
+		}
+		fmt.Fprintf(w, "# HELP oracleherd_fleet_tenant_generation Tenant-policy generation the coordinator is pushing to the fleet.\n")
+		fmt.Fprintf(w, "# TYPE oracleherd_fleet_tenant_generation gauge\n")
+		fmt.Fprintf(w, "oracleherd_fleet_tenant_generation %d\n", gen)
+		fmt.Fprintf(w, "# HELP oracleherd_fleet_tenant_gen_skew Members serving a tenant-policy generation older than the coordinator's.\n")
+		fmt.Fprintf(w, "# TYPE oracleherd_fleet_tenant_gen_skew gauge\n")
+		fmt.Fprintf(w, "oracleherd_fleet_tenant_gen_skew %d\n", skew)
+	}
 	if s.Advise != nil {
 		a := s.Advise()
 		fmt.Fprintf(w, "# HELP oracleherd_fleet_recommended_workers Fleet size the autoscaling advisor recommends for the target makespan.\n")

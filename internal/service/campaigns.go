@@ -117,11 +117,11 @@ func (cm *campaignManager) submit(ts *tenantState, spec *campaign.Spec, units in
 	}
 
 	cm.mu.Lock()
-	if ts.maxCampaigns > 0 && ts.campaigns.Load() >= int64(ts.maxCampaigns) {
+	if max := ts.lim.Load().maxCampaigns; max > 0 && ts.campaigns.Load() >= int64(max) {
 		cm.mu.Unlock()
 		return nil, &throttleError{
 			retryAfter: cm.s.cfg.RetryAfter,
-			msg:        fmt.Sprintf("tenant campaign cap reached (%d running)", ts.maxCampaigns),
+			msg:        fmt.Sprintf("tenant campaign cap reached (%d running)", max),
 		}
 	}
 	if cm.active.Load() >= int64(cm.s.cfg.MaxCampaigns) {
@@ -163,6 +163,7 @@ func (cm *campaignManager) execute(run *campaignRun) {
 	defer run.owner.campaigns.Add(-1)
 
 	stats, err := cm.runToArtifact(run)
+	run.owner.ledger.units.Add(int64(stats.Executed))
 
 	run.mu.Lock()
 	run.stats = stats

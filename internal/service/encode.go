@@ -34,24 +34,26 @@ var encPool = sync.Pool{
 
 // writeJSON encodes body and writes it with Content-Length set, buffering
 // through a pooled scratch so the encoder never allocates and the response
-// goes out in one Write.
-func writeJSON(w http.ResponseWriter, status int, body any) {
+// goes out in one Write. It returns the body's byte length — the usage
+// ledger charges response bytes to the tenant.
+func writeJSON(w http.ResponseWriter, status int, body any) int {
 	if raw, ok := body.(rawJSON); ok {
-		writeBody(w, status, raw)
-		return
+		return writeBody(w, status, raw)
 	}
 	eb := encPool.Get().(*encodeBuf)
 	eb.b = encodeResponse(eb.b[:0], body)
-	writeBody(w, status, eb.b)
+	n := writeBody(w, status, eb.b)
 	encPool.Put(eb)
+	return n
 }
 
-func writeBody(w http.ResponseWriter, status int, body []byte) {
+func writeBody(w http.ResponseWriter, status int, body []byte) int {
 	h := w.Header()
 	h.Set("Content-Type", "application/json")
 	h.Set("Content-Length", strconv.Itoa(len(body)))
 	w.WriteHeader(status)
 	_, _ = w.Write(body) // the status line is already out; nothing to do on error
+	return len(body)
 }
 
 // encodeResponse appends body's encoding to b: the fast path for the two

@@ -26,6 +26,10 @@ func (s *Server) routes() *http.ServeMux {
 	mux.Handle("POST /v1/shard", s.instrument("/v1/shard", s.handleShard))
 	mux.Handle("POST /v1/campaign", s.instrument("/v1/campaign", s.handleCampaignSubmit))
 	mux.Handle("GET /v1/campaign/{id}", s.instrument("/v1/campaign/{id}", s.handleCampaignGet))
+	// Admin surface: live tenant-table reload and inspection. The handlers
+	// themselves enforce the admin grant (403 for ordinary tenants).
+	mux.Handle("POST /v1/admin/tenants/reload", s.instrument("/v1/admin/tenants/reload", s.handleTenantsReload))
+	mux.Handle("GET /v1/admin/tenants", s.instrument("/v1/admin/tenants", s.handleTenantsShow))
 	// /healthz and /metrics stay open even in multi-tenant mode: liveness
 	// probes and scrapers do not carry tenant keys. Neither exposes tenant
 	// data beyond the bounded per-tenant counters.
@@ -115,11 +119,19 @@ func (s *Server) instrumented(endpoint string, fn func(w http.ResponseWriter, r 
 			}
 			body = map[string]string{"error": err.Error()}
 		}
-		writeJSON(w, status, body)
+		n := writeJSON(w, status, body)
 		em.observe(status, time.Since(start))
 		if status >= 0 && status < len(ts.codes) {
 			ts.codes[status].Add(1)
 		}
+		// Usage ledger: every finished request counts — a 429 consumed
+		// admission work and response bytes just like a 200.
+		ts.ledger.requests.Add(1)
+		moved := int64(n)
+		if r.ContentLength > 0 {
+			moved += r.ContentLength
+		}
+		ts.ledger.bytes.Add(moved)
 	})
 }
 
@@ -591,6 +603,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request, ts *tenantSta
 				resp.ByKind[k.String()] = c
 			}
 		}
+		// One executed simulation is one ledger unit; response-cache hits
+		// never reach here, so replayed answers cost the tenant nothing.
+		ts.ledger.units.Add(1)
 		return resp, nil
 	})
 	if err != nil || !cacheable {

@@ -92,6 +92,7 @@ type metrics struct {
 	dispatched atomic.Int64 // jobs executed across all batches
 	respHits   atomic.Int64 // requests served from the response cache
 	respMisses atomic.Int64 // cacheable requests that executed
+	reloads    atomic.Int64 // tenant control-plane swaps since boot
 
 	histShards int
 	endpoints  map[string]*endpointMetrics
@@ -226,21 +227,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 }
 
-// tenantStatesSorted collects the server's tenant states in a stable
-// render order: registered tenants by name, then the reserved anonymous
-// and unknown states. The set is fixed at construction — at most
-// tenant.MaxTenants + 2 states — so per-tenant series cardinality is
-// bounded no matter what keys clients present (every failed
-// authentication lands on the single "unknown" state).
+// tenantStatesSorted collects the current table's tenant states in a
+// stable render order: registered tenants by name, then the reserved
+// anonymous and unknown states. The set is bounded — at most
+// tenant.MaxTenants + 2 states per policy generation — so per-tenant
+// series cardinality is bounded no matter what keys clients present
+// (every failed authentication lands on the single "unknown" state).
 func (s *Server) tenantStatesSorted() []*tenantState {
-	states := make([]*tenantState, 0, len(s.tenantStates)+2)
-	names := make([]string, 0, len(s.tenantStates))
-	for name := range s.tenantStates {
+	tbl := s.table()
+	states := make([]*tenantState, 0, len(tbl.states)+2)
+	names := make([]string, 0, len(tbl.states))
+	for name := range tbl.states {
 		names = append(names, name)
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		states = append(states, s.tenantStates[name])
+		states = append(states, tbl.states[name])
 	}
 	return append(states, s.anonymous, s.unknown)
 }
@@ -251,6 +253,13 @@ func (s *Server) tenantStatesSorted() []*tenantState {
 // ever queued work.
 func (s *Server) writeTenantMetrics(w http.ResponseWriter) {
 	states := s.tenantStatesSorted()
+
+	fmt.Fprintf(w, "# HELP oracled_tenant_config_generation Policy generation of the live tenant table.\n")
+	fmt.Fprintf(w, "# TYPE oracled_tenant_config_generation gauge\n")
+	fmt.Fprintf(w, "oracled_tenant_config_generation %d\n", s.TenantGeneration())
+	fmt.Fprintf(w, "# HELP oracled_tenant_reloads_total Tenant control-plane swaps since boot.\n")
+	fmt.Fprintf(w, "# TYPE oracled_tenant_reloads_total counter\n")
+	fmt.Fprintf(w, "oracled_tenant_reloads_total %d\n", s.metrics.reloads.Load())
 
 	fmt.Fprintf(w, "# HELP oracled_tenant_requests_total Finished HTTP requests by tenant and status code.\n")
 	fmt.Fprintf(w, "# TYPE oracled_tenant_requests_total counter\n")
@@ -293,6 +302,37 @@ func (s *Server) writeTenantMetrics(w http.ResponseWriter) {
 	for _, ts := range states {
 		if n := ts.campaigns.Load(); n > 0 {
 			fmt.Fprintf(w, "oracled_tenant_campaigns_running{tenant=%q} %d\n", ts.name, n)
+		}
+	}
+
+	// Usage ledger totals: cumulative across restarts when a tenant store is
+	// attached (seeded from it at boot), process-lifetime counters otherwise.
+	fmt.Fprintf(w, "# HELP oracled_tenant_usage_requests_total Finished requests charged to the tenant's usage ledger.\n")
+	fmt.Fprintf(w, "# TYPE oracled_tenant_usage_requests_total counter\n")
+	for _, ts := range states {
+		if n := ts.ledger.requests.Load(); n > 0 {
+			fmt.Fprintf(w, "oracled_tenant_usage_requests_total{tenant=%q} %d\n", ts.name, n)
+		}
+	}
+	fmt.Fprintf(w, "# HELP oracled_tenant_usage_units_total Simulation units executed for the tenant (runs, shard units, campaign units).\n")
+	fmt.Fprintf(w, "# TYPE oracled_tenant_usage_units_total counter\n")
+	for _, ts := range states {
+		if n := ts.ledger.units.Load(); n > 0 {
+			fmt.Fprintf(w, "oracled_tenant_usage_units_total{tenant=%q} %d\n", ts.name, n)
+		}
+	}
+	fmt.Fprintf(w, "# HELP oracled_tenant_usage_queue_seconds_total Seconds the tenant's jobs spent waiting in the work queue.\n")
+	fmt.Fprintf(w, "# TYPE oracled_tenant_usage_queue_seconds_total counter\n")
+	for _, ts := range states {
+		if n := ts.ledger.queueNanos.Load(); n > 0 {
+			fmt.Fprintf(w, "oracled_tenant_usage_queue_seconds_total{tenant=%q} %s\n", ts.name, formatFloat(float64(n)/1e9))
+		}
+	}
+	fmt.Fprintf(w, "# HELP oracled_tenant_usage_bytes_total Request plus response body bytes moved for the tenant.\n")
+	fmt.Fprintf(w, "# TYPE oracled_tenant_usage_bytes_total counter\n")
+	for _, ts := range states {
+		if n := ts.ledger.bytes.Load(); n > 0 {
+			fmt.Fprintf(w, "oracled_tenant_usage_bytes_total{tenant=%q} %d\n", ts.name, n)
 		}
 	}
 }

@@ -103,6 +103,15 @@ type Config struct {
 	// queue drains tenants in weighted-fair order. Nil (the default) serves
 	// anonymously with no auth or quota work on the request path.
 	Tenants *tenant.Registry
+	// TenantStore, when set, is the durable control plane behind Tenants:
+	// usage ledgers are seeded from it at boot and flushed back to it
+	// periodically, and ReloadFromStore rebuilds the registry from its
+	// current contents. The Server does not own the store — the caller
+	// closes it after Stop.
+	TenantStore *tenant.Store
+	// LedgerFlushInterval is how often usage ledgers are persisted to
+	// TenantStore (default 5s). Ignored without a store.
+	LedgerFlushInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -157,6 +166,9 @@ func (c Config) withDefaults() Config {
 	if c.ResponseCacheCapacity == 0 {
 		c.ResponseCacheCapacity = 4096
 	}
+	if c.LedgerFlushInterval <= 0 {
+		c.LedgerFlushInterval = 5 * time.Second
+	}
 	return c
 }
 
@@ -174,13 +186,21 @@ type Server struct {
 	units     unitsCache
 	campaigns *campaignManager
 
-	// registry and the tenant state tables are fixed at construction; see
-	// tenancy.go. anonymous serves registry-less mode and open endpoints,
-	// unknown absorbs failed authentications.
-	registry     *tenant.Registry
-	tenantStates map[string]*tenantState
-	anonymous    *tenantState
-	unknown      *tenantState
+	// tenants is the live tenant control plane — registry, per-tenant
+	// limits, policy generation — behind one atomic pointer so a hot reload
+	// is a lock-free swap; see tenancy.go. anonymous serves registry-less
+	// mode and open endpoints, unknown absorbs failed authentications; both
+	// are reload-stable like every tenantState.
+	tenants   atomic.Pointer[tenantTable]
+	anonymous *tenantState
+	unknown   *tenantState
+	// reloadMu serializes table swaps (reloads), never reads.
+	reloadMu sync.Mutex
+	// flushMu guards flushed, the last ledger totals persisted per tenant —
+	// the dedup that keeps an idle server from appending to the store.
+	flushMu   sync.Mutex
+	flushed   map[string]tenant.Ledger
+	flushStop chan struct{}
 
 	// sched is the bounded work queue: per-tenant FIFOs drained by weighted
 	// deficit-round-robin. With one active tenant it degrades to the plain
@@ -223,6 +243,11 @@ func New(cfg Config) *Server {
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
 	}
+	if cfg.TenantStore != nil {
+		s.flushStop = make(chan struct{})
+		s.workers.Add(1)
+		go s.ledgerFlusher(cfg.LedgerFlushInterval)
+	}
 	return s
 }
 
@@ -236,7 +261,12 @@ func (s *Server) Handler() http.Handler { return s.mux }
 func (s *Server) Stop() {
 	s.draining.Store(true)
 	s.sched.Close()
+	if s.flushStop != nil {
+		close(s.flushStop)
+	}
 	s.workers.Wait()
+	// Final flush so ledger totals survive the restart byte-exactly.
+	s.FlushLedgers()
 }
 
 // CampaignWait blocks until every submitted campaign has finished, up to
@@ -252,6 +282,10 @@ type job struct {
 	ctx  ctxDone
 	work func() (any, error)
 	done chan jobResult
+	// ts/enq attribute queue wait to the owning tenant's ledger: the worker
+	// charges enq→dequeue to ts when it picks the job up.
+	ts  *tenantState
+	enq time.Time
 }
 
 type jobResult struct {
@@ -271,7 +305,9 @@ type ctxDone interface {
 // sheds load with 503. A tenant over its own queue-slot quota while global
 // capacity remains is throttled with 429 instead.
 func (s *Server) enqueue(ts *tenantState, j *job) error {
-	switch err := s.sched.Enqueue(ts.name, ts.weight, ts.slots, j); err {
+	lim := ts.lim.Load()
+	j.ts, j.enq = ts, time.Now()
+	switch err := s.sched.Enqueue(ts.name, lim.weight, lim.slots, j); err {
 	case nil:
 		s.metrics.queued.Add(1)
 		return nil
@@ -310,6 +346,9 @@ func (s *Server) worker() {
 // runJob executes one dequeued job and publishes its result.
 func (s *Server) runJob(j *job) {
 	s.metrics.queued.Add(-1)
+	if j.ts != nil {
+		j.ts.ledger.queueNanos.Add(time.Since(j.enq).Nanoseconds())
+	}
 	if j.ctx.Err() != nil {
 		// The handler gave up while the job sat in the queue; executing
 		// it would burn a worker on a response nobody reads.
@@ -341,13 +380,13 @@ func (s *Server) execute(ctx ctxDone, ts *tenantState, work func() (any, error))
 	j := jobPool.Get().(*job)
 	j.ctx, j.work = ctx, work
 	if err := s.enqueue(ts, j); err != nil {
-		j.ctx, j.work = nil, nil
+		j.ctx, j.work, j.ts = nil, nil, nil
 		jobPool.Put(j)
 		return nil, err
 	}
 	select {
 	case r := <-j.done:
-		j.ctx, j.work = nil, nil
+		j.ctx, j.work, j.ts = nil, nil, nil
 		jobPool.Put(j)
 		return r.value, r.err
 	case <-ctx.Done():

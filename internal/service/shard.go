@@ -107,6 +107,7 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request, ts *tenantS
 			return nil, badRequest("%v", err)
 		}
 		s.metrics.shardUnits.Add(int64(sh.Len()))
+		ts.ledger.units.Add(int64(sh.Len()))
 		s.observeUnitSeconds(time.Since(start).Seconds() / float64(sh.Len()))
 		return &shardResponse{
 			SpecHash: spec.Hash(),

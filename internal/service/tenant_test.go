@@ -280,7 +280,7 @@ func TestTenantCampaignQuotas(t *testing.T) {
 
 	// Concurrent-campaign quota: with small's counter held at its cap, a
 	// submit throttles with 429 — distinct from the global 503.
-	small := s.tenantStates["small"]
+	small := s.table().states["small"]
 	small.campaigns.Add(1)
 	w = postJSONKey(t, s.Handler(), "/v1/campaign", "small-key-000",
 		map[string]any{"name": "t", "trials": 1, "seed": 1,

@@ -75,6 +75,9 @@ type Spec struct {
 	// queue entries; beyond it the tenant is throttled (429) while other
 	// tenants' slots and the global queue stay available.
 	MaxQueueSlots int `json:"max_queue_slots,omitempty"`
+	// Admin grants access to the daemon's admin endpoints (tenant reload,
+	// tenant report). Ordinary tenants get 403 there.
+	Admin bool `json:"admin,omitempty"`
 	// Labels are free-form annotations reported on GET /healthz-adjacent
 	// surfaces and available to operators; they never become metric
 	// labels (cardinality stays bounded by tenant count alone).
@@ -83,10 +86,17 @@ type Spec struct {
 
 // Tenant is one authenticated identity with its quota state. Tenants are
 // immutable after registry construction except for the rate bucket.
+//
+// During a key rotation a tenant may hold a second, previous digest that
+// stays valid until prevExpiry — the overlap window that lets every client
+// of the tenant switch keys without a hard cut-over.
 type Tenant struct {
 	Spec
-	keyDigest [sha256.Size]byte
-	bucket    bucket
+	keyDigest  [sha256.Size]byte
+	prevDigest [sha256.Size]byte
+	prevValid  bool
+	prevExpiry time.Time
+	bucket     bucket
 }
 
 // keyfile is the on-disk document shape.
@@ -120,6 +130,32 @@ func validName(s string) bool {
 	return true
 }
 
+// normalizeSpec validates one spec's name and limits and applies the
+// weight/burst defaults. It is shared by the keyfile and store registry
+// constructors, so both load paths enforce identical rules.
+func normalizeSpec(sp Spec) (Spec, error) {
+	if !validName(sp.Name) {
+		return sp, fmt.Errorf("tenant: name %q is not [A-Za-z0-9_-]+", sp.Name)
+	}
+	if reserved[sp.Name] {
+		return sp, fmt.Errorf("tenant: name %q is reserved", sp.Name)
+	}
+	if sp.Weight < 0 || sp.RatePerSec < 0 || sp.Burst < 0 || sp.MaxBodyBytes < 0 ||
+		sp.MaxCampaignUnits < 0 || sp.MaxCampaigns < 0 || sp.MaxQueueSlots < 0 {
+		return sp, fmt.Errorf("tenant %q: negative limit", sp.Name)
+	}
+	if sp.Weight == 0 {
+		sp.Weight = 1
+	}
+	if sp.RatePerSec > 0 && sp.Burst <= 0 {
+		// A rate with no burst would reject every request after the
+		// first in any instant; default the bucket to one second of
+		// rate, matching the common token-bucket convention.
+		sp.Burst = sp.RatePerSec
+	}
+	return sp, nil
+}
+
 // NewRegistry builds a registry from tenant specs, validating names,
 // keys, and uniqueness.
 func NewRegistry(specs []Spec) (*Registry, error) {
@@ -133,12 +169,9 @@ func NewRegistry(specs []Spec) (*Registry, error) {
 	names := make(map[string]bool, len(specs))
 	digests := make(map[[sha256.Size]byte]bool, len(specs))
 	for i := range specs {
-		sp := specs[i]
-		if !validName(sp.Name) {
-			return nil, fmt.Errorf("tenant: name %q is not [A-Za-z0-9_-]+", sp.Name)
-		}
-		if reserved[sp.Name] {
-			return nil, fmt.Errorf("tenant: name %q is reserved", sp.Name)
+		sp, err := normalizeSpec(specs[i])
+		if err != nil {
+			return nil, err
 		}
 		if names[sp.Name] {
 			return nil, fmt.Errorf("tenant: duplicate name %q", sp.Name)
@@ -152,19 +185,6 @@ func NewRegistry(specs []Spec) (*Registry, error) {
 			return nil, fmt.Errorf("tenant %q: key already registered to another tenant", sp.Name)
 		}
 		digests[d] = true
-		if sp.Weight < 0 || sp.RatePerSec < 0 || sp.Burst < 0 || sp.MaxBodyBytes < 0 ||
-			sp.MaxCampaignUnits < 0 || sp.MaxCampaigns < 0 || sp.MaxQueueSlots < 0 {
-			return nil, fmt.Errorf("tenant %q: negative limit", sp.Name)
-		}
-		if sp.Weight == 0 {
-			sp.Weight = 1
-		}
-		if sp.RatePerSec > 0 && sp.Burst <= 0 {
-			// A rate with no burst would reject every request after the
-			// first in any instant; default the bucket to one second of
-			// rate, matching the common token-bucket convention.
-			sp.Burst = sp.RatePerSec
-		}
 		t := &Tenant{Spec: sp, keyDigest: d}
 		t.Spec.Key = "" // never retain the raw secret
 		t.bucket.tokens = t.Spec.Burst
@@ -202,19 +222,62 @@ func LoadKeyfile(path string) (*Registry, error) {
 // constant-time in the key material: the presented key is hashed once and
 // the digest is compared against every registered tenant's digest with
 // crypto/subtle, with no early exit, so response timing reveals neither
-// how close a guess came nor which tenant matched.
+// how close a guess came nor which tenant matched. A tenant mid-rotation
+// matches on either its current or its previous digest while the overlap
+// window is open; the window check depends only on the clock, never on
+// key material, so it does not perturb the timing contract.
 func (r *Registry) Authenticate(key string) (*Tenant, bool) {
 	d := sha256.Sum256([]byte(key))
+	now := r.now()
 	idx := -1
 	for i := range r.tenants {
+		t := r.tenants[i]
 		// Accumulate the match index without branching out of the loop.
-		m := subtle.ConstantTimeCompare(d[:], r.tenants[i].keyDigest[:])
+		m := subtle.ConstantTimeCompare(d[:], t.keyDigest[:])
+		if t.prevValid && now.Before(t.prevExpiry) {
+			m |= subtle.ConstantTimeCompare(d[:], t.prevDigest[:])
+		}
 		idx = subtle.ConstantTimeSelect(m, i, idx)
 	}
 	if idx < 0 {
 		return nil, false
 	}
 	return r.tenants[idx], true
+}
+
+// AdoptBuckets carries rate-limit bucket state from an old registry into
+// this one for same-name tenants, clamped to the new burst ceiling. A hot
+// reload calls it so tightening a quota takes effect against the tokens
+// the tenant has already spent — a reload is a policy change, not a free
+// bucket refill — and so a fake clock installed with SetClock survives
+// the swap.
+func (r *Registry) AdoptBuckets(old *Registry) {
+	if old == nil {
+		return
+	}
+	prev := make(map[string]*Tenant, len(old.tenants))
+	for _, t := range old.tenants {
+		prev[t.Spec.Name] = t
+	}
+	for _, t := range r.tenants {
+		o := prev[t.Spec.Name]
+		if o == nil || o.Spec.RatePerSec <= 0 {
+			// No prior bucket history to carry: a previously unlimited
+			// tenant never spent tokens, so a newly tightened policy starts
+			// it with the full burst rather than a spuriously empty bucket.
+			continue
+		}
+		o.bucket.mu.Lock()
+		tokens, last := o.bucket.tokens, o.bucket.last
+		o.bucket.mu.Unlock()
+		if t.Spec.Burst > 0 && tokens > t.Spec.Burst {
+			tokens = t.Spec.Burst
+		}
+		t.bucket.mu.Lock()
+		t.bucket.tokens, t.bucket.last = tokens, last
+		t.bucket.mu.Unlock()
+	}
+	r.now = old.now
 }
 
 // Tenants returns the registered tenants in keyfile order. The slice is

@@ -216,6 +216,57 @@ func TestAllowRateLimit(t *testing.T) {
 	}
 }
 
+// TestAdoptBucketsCarriesSpentTokens pins the hot-reload bucket contract:
+// a rate-limited tenant's spent tokens survive the swap (a reload is not
+// a free refill), clamped to the new burst, while a previously unlimited
+// tenant starts a newly tightened policy with its full burst — it has no
+// spend history to carry.
+func TestAdoptBucketsCarriesSpentTokens(t *testing.T) {
+	now := time.Unix(2000, 0)
+	clock := func() time.Time { return now }
+	old, err := NewRegistry([]Spec{
+		{Name: "spent", Key: "spent-key-000", RatePerSec: 1, Burst: 4},
+		{Name: "fresh", Key: "fresh-key-000"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	old.SetClock(clock)
+	for i := 0; i < 4; i++ {
+		if ok, _ := old.Allow(old.Tenants()[0]); !ok {
+			t.Fatalf("request %d within burst refused", i)
+		}
+	}
+
+	next, err := NewRegistry([]Spec{
+		{Name: "spent", Key: "spent-key-000", RatePerSec: 1, Burst: 2},
+		{Name: "fresh", Key: "fresh-key-000", RatePerSec: 1, Burst: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	next.AdoptBuckets(old)
+
+	// spent drained its bucket before the swap: still refused.
+	if ok, _ := next.Allow(next.Tenants()[0]); ok {
+		t.Error("drained bucket refilled by reload")
+	}
+	// fresh was unlimited before: the tightened policy starts at burst.
+	for i := 0; i < 2; i++ {
+		if ok, _ := next.Allow(next.Tenants()[1]); !ok {
+			t.Fatalf("newly limited tenant refused request %d within its first burst", i)
+		}
+	}
+	if ok, _ := next.Allow(next.Tenants()[1]); ok {
+		t.Error("newly limited tenant exceeded its burst")
+	}
+	// The fake clock rode along with the buckets.
+	now = now.Add(time.Second)
+	if ok, _ := next.Allow(next.Tenants()[0]); !ok {
+		t.Error("spent tenant refused after one virtual second of refill")
+	}
+}
+
 func TestAllowUnlimited(t *testing.T) {
 	r, err := NewRegistry([]Spec{{Name: "a", Key: "long-enough"}})
 	if err != nil {
